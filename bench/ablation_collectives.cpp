@@ -1,0 +1,127 @@
+// Ablation of the design choices DESIGN.md calls out:
+//
+//  1. Collective model: ideal log-tree (the paper's *analytical* model)
+//     vs the saturating tree (calibrated to the paper's *measurements*).
+//     Under the ideal model the best c is the largest; under the
+//     saturating model an interior c wins — the paper's central empirical
+//     finding ("c should be treated as a tuning parameter").
+//  2. Torus-aware broadcast-shifts on Intrepid (Section III-C): exploiting
+//     bidirectional links halves shift bandwidth cost.
+//  3. Replication as memory: the c sweep's per-rank memory footprint
+//     (Equation 4) against its communication time — the memory/
+//     communication trade at the heart of the paper.
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+void collective_model_ablation() {
+  std::cout << "\n" << banner("Ablation 1: collective model (Hopper, p=24576, n=196608)")
+            << "\n\n";
+  Table t({{"c", 5},
+           {"ideal total", 12, 5},
+           {"saturating total", 17, 5},
+           {"ideal comm", 12, 5},
+           {"saturating comm", 16, 5}});
+  const int p = 24576;
+  const std::uint64_t n = 196608;
+  int best_ideal = 0, best_sat = 0;
+  double best_ideal_t = 1e30, best_sat_t = 1e30;
+  for (int c : valid_all_pairs_cs(p, 64)) {
+    const auto ideal = run_ca_all_pairs(machine::with_ideal_collectives(machine::hopper()), p,
+                                        c, n);
+    const auto sat = run_ca_all_pairs(machine::hopper(), p, c, n);
+    if (ideal.total() < best_ideal_t) {
+      best_ideal_t = ideal.total();
+      best_ideal = c;
+    }
+    if (sat.total() < best_sat_t) {
+      best_sat_t = sat.total();
+      best_sat = c;
+    }
+    t.add_row({static_cast<long long>(c), ideal.total(), sat.total(), ideal.communication(),
+               sat.communication()});
+  }
+  t.print(std::cout);
+  std::cout << "\n  ideal model:      best c = " << best_ideal
+            << " (monotone: maximize replication, as the theory suggests)\n"
+            << "  saturating model: best c = " << best_sat
+            << " (interior optimum: c is a tuning parameter, as measured)\n";
+}
+
+void torus_shift_ablation() {
+  std::cout << "\n"
+            << banner("Ablation 2: topology-aware broadcast-shifts (Intrepid, p=32768)")
+            << "\n\n";
+  Table t({{"c", 5}, {"p2p shifts", 12, 5}, {"bidir shifts", 12, 5}, {"speedup", 9, 3}});
+  const int p = 32768;
+  const std::uint64_t n = 262144;
+  for (int c : valid_all_pairs_cs(p, 16)) {
+    const auto plain = run_ca_all_pairs(machine::intrepid(false, false), p, c, n);
+    const auto bidir = run_ca_all_pairs(machine::intrepid(false, true), p, c, n);
+    t.add_row({static_cast<long long>(c), plain.shift, bidir.shift,
+               plain.shift > 0 ? plain.shift / bidir.shift : 1.0});
+  }
+  t.print(std::cout);
+  std::cout << "\n  Section III-C: replacing point-to-point shifts with broadcasts across\n"
+               "  the rows exploits torus bidirectionality — twice the shift bandwidth.\n";
+}
+
+void memory_tradeoff_table() {
+  std::cout << "\n" << banner("Ablation 3: the memory/communication trade (Equation 4)")
+            << "\n\n";
+  const int p = 24576;
+  const std::uint64_t n = 196608;
+  Table t({{"c", 5},
+           {"copies of S", 12},
+           {"MiB/rank", 10, 3},
+           {"comm (s)", 11, 5},
+           {"comm x less", 12, 2}});
+  double base_comm = 0.0;
+  for (int c : valid_all_pairs_cs(p, 64)) {
+    const auto rep = run_ca_all_pairs(machine::hopper(), p, c, n);
+    const double mem_particles = static_cast<double>(c) * static_cast<double>(n) / p;
+    const double mib = mem_particles * 52.0 / (1024.0 * 1024.0);
+    if (c == 1) base_comm = rep.communication();
+    t.add_row({static_cast<long long>(c), std::string(std::to_string(c) + "x"), mib,
+               rep.communication(), base_comm / rep.communication()});
+  }
+  t.print(std::cout);
+}
+
+void hop_latency_ablation() {
+  std::cout << "\n" << banner("Ablation 4: hop-aware torus latency (skew vs shift distance)")
+            << "\n\n";
+  // With per-hop latency enabled, the skew (row k jumps k columns) costs
+  // more than the stride-c shifts — quantifying why topology-aware
+  // embeddings matter on real tori.
+  auto m = machine::hopper();
+  m.alpha_hop = 5e-7;  // ~0.5 us per hop
+  const int p = 4096;
+  const std::uint64_t n = 32768;
+  Table t({{"c", 5}, {"skew(s)", 11, 6}, {"shift(s)", 11, 6}, {"total(s)", 11, 5}});
+  for (int c : valid_all_pairs_cs(p, 32)) {
+    const auto rep = run_ca_all_pairs(m, p, c, n, 1);
+    t.add_row({static_cast<long long>(c), rep.skew, rep.shift, rep.total()});
+  }
+  t.print(std::cout);
+  std::cout << "\n  The skew grows with c (row k travels k columns) while shifts stay\n"
+               "  neighbor-local; on a real torus the skew is the embedding-sensitive\n"
+               "  step. (Hop charging is off in the headline figures: alpha_hop = 0.)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — ablation benches for the design choices in DESIGN.md\n";
+  collective_model_ablation();
+  torus_shift_ablation();
+  memory_tradeoff_table();
+  hop_latency_ablation();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench replays the paper's experiment at the paper's machine and
+// problem scale on phantom payloads: the communication schedule, ledger,
+// and per-rank clocks are exactly those of the real engines (tests assert
+// this equivalence), so the printed series are the model's prediction of
+// the paper's plots. See EXPERIMENTS.md for paper-vs-model commentary.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/init.hpp"
+#include "sim/report.hpp"
+#include "support/table.hpp"
+
+namespace canb::bench {
+
+inline constexpr int kStepsPerRun = 3;  ///< timesteps averaged per data point
+
+/// Uniform phantom team blocks for an all-pairs run (n divisible by q is
+/// not required; the remainder spreads over the first teams).
+inline std::vector<core::PhantomBlock> even_counts(std::uint64_t n, int q) {
+  std::vector<core::PhantomBlock> out(static_cast<std::size_t>(q));
+  const std::uint64_t base = n / static_cast<std::uint64_t>(q);
+  const std::uint64_t extra = n % static_cast<std::uint64_t>(q);
+  for (int t = 0; t < q; ++t)
+    out[static_cast<std::size_t>(t)].count = base + (static_cast<std::uint64_t>(t) < extra);
+  return out;
+}
+
+/// Phantom team counts from a real particle sample binned spatially. The
+/// paper "set the parameters of the simulation to ensure the particle
+/// distribution remains nearly uniform over time" (Section IV-D), so we
+/// sample a jittered lattice: per-team counts vary by +/- a few particles,
+/// and the load imbalance the benches report comes from the physical
+/// boundary-window clipping, not from sampling noise.
+inline std::vector<core::PhantomBlock> spatial_counts_1d(int n, int q, std::uint64_t seed) {
+  const auto box = particles::Box::reflective_1d(1.0);
+  const auto blocks =
+      decomp::split_spatial_1d(particles::init_lattice(n, box, /*jitter=*/0.9, seed), box, q);
+  std::vector<core::PhantomBlock> out;
+  out.reserve(blocks.size());
+  for (const auto& b : blocks) out.push_back({b.size()});
+  return out;
+}
+
+inline std::vector<core::PhantomBlock> spatial_counts_2d(int n, int qx, int qy,
+                                                         std::uint64_t seed) {
+  const auto box = particles::Box::reflective_2d(1.0);
+  const auto blocks =
+      decomp::split_spatial_2d(particles::init_lattice(n, box, /*jitter=*/0.9, seed), box, qx, qy);
+  std::vector<core::PhantomBlock> out;
+  out.reserve(blocks.size());
+  for (const auto& b : blocks) out.push_back({b.size()});
+  return out;
+}
+
+/// One all-pairs CA data point at paper scale.
+inline sim::RunReport run_ca_all_pairs(const machine::MachineModel& m, int p, int c,
+                                       std::uint64_t n, int steps = kStepsPerRun) {
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.0, /*bulk=*/true});
+  core::CaAllPairs<core::PhantomPolicy> engine({p, c, m}, policy, even_counts(n, p / c));
+  engine.run(steps);
+  return sim::summarize(engine.comm(), steps, "c=" + std::to_string(c), c);
+}
+
+/// One 1D-cutoff CA data point (rc = box/4 as in the paper's experiments).
+// Phantom cutoff runs are stateless across steps (counts are steady-state),
+/// so a single step per data point is exact.
+inline sim::RunReport run_ca_cutoff_1d(const machine::MachineModel& m, int p, int c, int n,
+                                       double rc_fraction = 0.25, int steps = 1) {
+  const int q = p / c;
+  const int mteams = core::window_radius_teams(rc_fraction, 1.0, q);
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.05, /*bulk=*/true});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {p, c, m, core::CutoffGeometry::make_1d(q, mteams), /*periodic=*/false}, policy,
+      spatial_counts_1d(n, q, /*seed=*/1234));
+  engine.run(steps);
+  return sim::summarize(engine.comm(), steps, "c=" + std::to_string(c), c);
+}
+
+/// One 2D-cutoff CA data point.
+inline sim::RunReport run_ca_cutoff_2d(const machine::MachineModel& m, int p, int c, int n,
+                                       int qx, int qy, double rc_fraction = 0.25,
+                                       int steps = 1) {
+  const int mx = core::window_radius_teams(rc_fraction, 1.0, qx);
+  const int my = core::window_radius_teams(rc_fraction, 1.0, qy);
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.05, /*bulk=*/true});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {p, c, m, core::CutoffGeometry::make_2d(qx, qy, mx, my), /*periodic=*/false}, policy,
+      spatial_counts_2d(n, qx, qy, /*seed=*/1234));
+  engine.run(steps);
+  return sim::summarize(engine.comm(), steps, "c=" + std::to_string(c), c);
+}
+
+/// Valid all-pairs replication factors (powers of two) up to c_max.
+inline std::vector<int> valid_all_pairs_cs(int p, int c_max) {
+  std::vector<int> out;
+  for (int c = 1; c <= c_max; c *= 2) {
+    if (vmpi::valid_all_pairs_replication(p, c)) out.push_back(c);
+  }
+  return out;
+}
+
+inline void print_figure_header(const std::string& id, const std::string& what) {
+  std::cout << "\n" << banner("Figure " + id) << "\n" << what << "\n\n";
+}
+
+/// When the CANB_CSV_DIR environment variable is set, writes the panel's
+/// reports there as <name>.csv for replotting (scripts/plot_figures.py).
+inline void maybe_write_csv(const std::string& name,
+                            const std::vector<sim::RunReport>& reports) {
+  const char* dir = std::getenv("CANB_CSV_DIR");
+  if (!dir || reports.empty()) return;
+  sim::write_reports_csv(std::string(dir) + "/" + name + ".csv", reports);
+  std::cout << "  [csv: " << dir << "/" << name << ".csv]\n";
+}
+
+}  // namespace canb::bench

@@ -1,0 +1,75 @@
+// Dimensionality scaling (Section IV-C): "Communication avoidance becomes
+// especially important in higher dimensions because the number of
+// neighbors is exponential in the dimensionality of the problem space."
+//
+// The paper evaluates 1D and 2D; this bench extends the measurement to 3D
+// using the same linearized-window schedule, at a fixed machine size
+// (p = 4,096 * c ranks per run) and fixed cutoff fraction rc = l/4. Per
+// dimension: window size, critical-path messages and bytes, time per step,
+// and the factor replication saves — showing the savings *grow* with d.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+struct Row {
+  int dims;
+  int c;
+  sim::RunReport rep;
+  int window;
+};
+
+sim::RunReport run_dim(const machine::MachineModel& m, int dims, int c, int n) {
+  const int q = 4096;  // teams, constant across dims
+  core::PhantomPolicy policy({0.05, true});
+  core::CutoffGeometry geom = core::CutoffGeometry::make_1d(q, q / 4);
+  if (dims == 2) {
+    geom = core::CutoffGeometry::make_2d(64, 64, 16, 16);
+  } else if (dims == 3) {
+    geom = core::CutoffGeometry::make_3d(16, 16, 16, 4, 4, 4);
+  }
+  core::CaCutoff<core::PhantomPolicy> engine({q * c, c, m, geom, /*periodic=*/false}, policy,
+                                             even_counts(static_cast<std::uint64_t>(n), q));
+  engine.step();
+  return sim::summarize(engine.comm(), 1, "d=" + std::to_string(dims), c);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — dimensionality scaling of the cutoff algorithm (Section IV-C)\n"
+            << "4096 teams, rc = l/4 per axis, n = 65,536, Hopper model\n\n";
+  const int n = 65536;
+  const auto m = machine::hopper();
+
+  Table t({{"d", 4},
+           {"window", 8},
+           {"c", 5},
+           {"msgs/step", 10, 1},
+           {"KiB/step", 10, 1},
+           {"shift(s)", 11, 5},
+           {"total(s)", 11, 5},
+           {"vs c=1", 8, 2}});
+  for (int dims : {1, 2, 3}) {
+    double c1_total = 0.0;
+    for (int c : {1, 4, 16}) {
+      const auto rep = run_dim(m, dims, c, n);
+      if (c == 1) c1_total = rep.total();
+      const int window = dims == 1 ? 2049 : dims == 2 ? 33 * 33 : 9 * 9 * 9;
+      t.add_row({static_cast<long long>(dims), static_cast<long long>(window),
+                 static_cast<long long>(c), rep.messages, rep.bytes / 1024.0, rep.shift,
+                 rep.total(), c1_total / rep.total()});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: at fixed team count the 1D window spans the most teams (rc\n"
+               "covers q/4 of them per side), while higher dimensions trade window\n"
+               "span per axis for exponentially more neighbors; in every dimension\n"
+               "replication c cuts messages ~1/c and the benefit compounds with the\n"
+               "window size. 3D runs are schedule-level (phantom payloads).\n";
+  return 0;
+}

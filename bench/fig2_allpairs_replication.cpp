@@ -1,0 +1,93 @@
+// Figure 2: "The effect of the replication factor c on execution time for
+// small and large problems on Hopper and Intrepid."
+//
+// Four panels, each a sweep over c at fixed machine size and problem size,
+// with the per-phase breakdown the paper plots as stacked bars:
+//   2a: Hopper,   p =  6,144, n =  24,576   (monotone decrease expected)
+//   2b: Hopper,   p = 24,576, n = 196,608   (best at c = 16)
+//   2c: Intrepid, p =  8,192, n =  32,768   (plus the c=1 "tree" bar)
+//   2d: Intrepid, p = 32,768, n = 262,144   (plus the c=1 "tree" bar)
+//
+// Also prints the paper's two headline claims computed from the model:
+// the best-c speedup over c=1 (Section V: "over 11.8x"), and the
+// communication-time reduction on Intrepid's torus (Section III-C1: 99.5%).
+#include <iomanip>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "decomp/particle_decomposition.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+sim::RunReport run_naive_allgather(const machine::MachineModel& m, int p, std::uint64_t n) {
+  core::PhantomPolicy policy;
+  std::vector<core::PhantomBlock> blocks = even_counts(n, p);
+  decomp::ParticleDecompositionAllGather<core::PhantomPolicy> engine({p, m}, policy,
+                                                                     std::move(blocks));
+  engine.run(kStepsPerRun);
+  return sim::summarize(engine.comm(), kStepsPerRun, "c=1(tree)", 1);
+}
+
+struct PanelResult {
+  sim::RunReport c1;
+  sim::RunReport best;
+};
+
+PanelResult run_panel(const std::string& id, const machine::MachineModel& m, int p,
+                      std::uint64_t n, int c_max, bool with_tree_bar) {
+  print_figure_header(id, m.name + ", " + std::to_string(p) + " cores, " + std::to_string(n) +
+                              " particles (time per timestep, critical path)");
+  std::vector<sim::RunReport> reports;
+  if (with_tree_bar) {
+    // The hardware-assisted naive baseline: one whole-partition all-gather
+    // per step over the BG/P collective network.
+    reports.push_back(run_naive_allgather(machine::intrepid(/*use_hw_tree=*/true), p, n));
+  }
+  std::optional<sim::RunReport> c1;
+  std::optional<sim::RunReport> best;
+  for (int c : valid_all_pairs_cs(p, c_max)) {
+    auto rep = run_ca_all_pairs(m, p, c, n);
+    if (c == 1) {
+      rep.label = with_tree_bar ? "c=1(no-tree)" : "c=1";
+      c1 = rep;
+    }
+    if (!best || rep.total() < best->total()) best = rep;
+    reports.push_back(std::move(rep));
+  }
+  sim::print_reports(std::cout, reports);
+  maybe_write_csv("fig" + id, reports);
+  std::cout << "\n  best: " << best->label << " at " << format_seconds(best->total())
+            << "/step;  c=1: " << format_seconds(c1->total()) << "/step;  speedup "
+            << std::fixed << std::setprecision(2) << c1->total() / best->total() << "x;  comm "
+            << format_seconds(c1->communication()) << " -> "
+            << format_seconds(best->communication()) << " ("
+            << 100.0 * (1.0 - best->communication() / c1->communication())
+            << "% reduction)\n";
+  return {*c1, *best};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — Figure 2 reproduction: execution time vs replication factor\n";
+
+  run_panel("2a", machine::hopper(), 6144, 24576, 32, false);
+  const auto p2b = run_panel("2b", machine::hopper(), 24576, 196608, 64, false);
+  const auto p2c = run_panel("2c", machine::intrepid(), 8192, 32768, 64, true);
+  const auto p2d = run_panel("2d", machine::intrepid(), 32768, 262144, 128, true);
+
+  std::cout << "\n" << canb::banner("Headline claims") << "\n";
+  std::cout << "  paper Section V: 'a speedup of over 11.8x from communication avoidance'\n"
+            << "    model, Fig 2c (Intrepid 8K cores): " << std::fixed << std::setprecision(1)
+            << p2c.c1.total() / p2c.best.total() << "x total-time speedup (best c vs c=1)\n";
+  std::cout << "  paper Section III-C1: '99.5% reduction in communication time' (torus runs)\n"
+            << "    model, Fig 2d (Intrepid 32K cores): " << std::setprecision(2)
+            << 100.0 * (1.0 - p2d.best.communication() / p2d.c1.communication())
+            << "% communication reduction (best c vs c=1 no-tree)\n";
+  std::cout << "  paper Fig 2b: best performance at c=16 on Hopper 24K cores\n"
+            << "    model: best at " << p2b.best.label << "\n";
+  return 0;
+}

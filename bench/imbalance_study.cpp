@@ -1,0 +1,94 @@
+// Load-imbalance study: probing the uniform-density assumption.
+//
+// The paper assumes "a uniform particle distribution for load balance"
+// (Section IV-A) and attributes its cutoff inefficiency to *boundary*
+// imbalance. This bench quantifies the other kind — *density* imbalance —
+// by sweeping a linear density gradient and a clustered distribution
+// through the CA cutoff algorithm at fixed (p, c), reporting the
+// imbalance factor (max/mean rank time) and where the extra time lands
+// (waits inside shift/reduce phases).
+//
+// Observations to expect: imbalance tracks the density skew; replication
+// does NOT fix density imbalance (every replica of a heavy team is heavy);
+// a periodic box removes the boundary component but not the density one.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "decomp/partition.hpp"
+#include "particles/init.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+std::vector<core::PhantomBlock> counts_from(const particles::Block& sample, int q) {
+  const auto box = particles::Box::reflective_1d(1.0);
+  const auto blocks = decomp::split_spatial_1d(sample, box, q);
+  std::vector<core::PhantomBlock> out;
+  out.reserve(blocks.size());
+  for (const auto& b : blocks) out.push_back({b.size()});
+  return out;
+}
+
+sim::RunReport run_with_counts(std::vector<core::PhantomBlock> counts, int c,
+                               const std::string& label, bool periodic) {
+  const int q = static_cast<int>(counts.size());
+  const int p = q * c;
+  const int m = core::window_radius_teams(0.25, 1.0, q);
+  core::PhantomPolicy policy({0.05, true});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {p, c, machine::hopper(), core::CutoffGeometry::make_1d(q, m), periodic}, policy,
+      std::move(counts));
+  engine.step();
+  return sim::summarize(engine.comm(), 1, label, c);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — load imbalance vs particle distribution (1D cutoff, rc=l/4)\n"
+            << "q = 2048 teams, n = 65,536, Hopper model\n\n";
+  const int n = 65536;
+  const int q = 2048;
+  const auto box1d = particles::Box::reflective_1d(1.0);
+
+  struct Workload {
+    std::string name;
+    particles::Block sample;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"lattice (uniform)", particles::init_lattice(n, box1d, 0.9, 1)});
+  workloads.push_back({"iid uniform", particles::init_uniform(n, box1d, 1)});
+  workloads.push_back({"gradient 0.5", particles::init_gradient(n, box1d, 0.5, 1)});
+  workloads.push_back({"gradient 1.5", particles::init_gradient(n, box1d, 1.5, 1)});
+  workloads.push_back({"8 clusters", particles::init_clusters(n, box1d, 8, 0.03, 1)});
+
+  for (const bool periodic : {false, true}) {
+    std::cout << banner(periodic ? "Periodic box (no boundary imbalance)"
+                                 : "Reflective box (boundary + density imbalance)")
+              << "\n\n";
+    Table t({{"workload", 20},
+             {"c", 5},
+             {"total(s)", 11, 5},
+             {"compute", 11, 5},
+             {"comm", 11, 5},
+             {"imbalance", 10, 3}});
+    for (const auto& w : workloads) {
+      for (int c : {1, 8}) {
+        const auto rep = run_with_counts(counts_from(w.sample, q), c, w.name, periodic);
+        t.add_row({w.name, static_cast<long long>(c), rep.total(), rep.compute,
+                   rep.communication(), rep.imbalance});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: density imbalance (gradient, clusters) inflates the imbalance\n"
+               "factor and the critical-path total regardless of c — replication\n"
+               "replicates heavy teams. The paper's uniform-density assumption is thus\n"
+               "load-bearing; dynamic re-partitioning would be needed for skewed\n"
+               "workloads (beyond the paper's and this reproduction's scope).\n";
+  return 0;
+}

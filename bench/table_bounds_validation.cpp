@@ -1,0 +1,167 @@
+// Bounds validation table (Equations 2, 3, 5): measured critical-path
+// messages (S) and particle-words (W) from the engines' ledgers, compared
+// against (a) the paper's asymptotic cost model for the algorithm and
+// (b) the communication lower bound at the same memory size.
+//
+// "x bound" is measured / lower-bound: communication optimality means this
+// ratio stays bounded by a small constant across the whole sweep while the
+// bound itself falls as 1/c (W) and 1/c^2 (S).
+#include <iostream>
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "bounds/lower_bounds.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+void all_pairs_table() {
+  std::cout << "\n" << banner("All-pairs: measured vs Eq 5 model vs Eq 2 lower bound") << "\n";
+  const int p = 4096;
+  const std::uint64_t n = 65536;
+  std::cout << "p = " << p << ", n = " << n << ", 52-byte particles\n\n";
+  Table t({{"c", 5},
+           {"S meas", 9, 1},
+           {"S model", 9, 1},
+           {"S bound", 9, 1},
+           {"S/bound", 8, 2},
+           {"W meas", 11, 0},
+           {"W model", 11, 0},
+           {"W bound", 11, 0},
+           {"W/bound", 8, 2}});
+  for (int c : valid_all_pairs_cs(p, 64)) {
+    core::PhantomPolicy policy({0.0, true});
+    core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::hopper()}, policy,
+                                                 even_counts(n, p / c));
+    engine.step();
+    const auto rep =
+        bounds::check_all_pairs_optimality(engine.comm().ledger(), 1, n, p, c);
+    const auto model = bounds::ca_all_pairs_cost(n, p, c);
+    t.add_row({static_cast<long long>(c), rep.measured.messages, model.messages,
+               rep.bound.messages, rep.message_ratio, rep.measured.words, model.words,
+               rep.bound.words, rep.word_ratio});
+  }
+  t.print(std::cout);
+}
+
+void cutoff_table() {
+  std::cout << "\n" << banner("1D cutoff: measured vs Section IV-B model vs Eq 3 bound") << "\n";
+  const int p = 4096;
+  const int n = 65536;
+  std::cout << "p = " << p << ", n = " << n << ", rc = l/4 (periodic, balanced)\n\n";
+  Table t({{"c", 5},
+           {"m", 7},
+           {"S meas", 9, 1},
+           {"S model", 9, 1},
+           {"S/bound", 8, 2},
+           {"W meas", 11, 0},
+           {"W model", 11, 0},
+           {"W/bound", 8, 2}});
+  for (int c : {1, 2, 4, 8, 16, 32}) {
+    const int q = p / c;
+    const int m = q / 4;
+    core::PhantomPolicy policy({0.0, true});
+    core::CaCutoff<core::PhantomPolicy> engine(
+        {p, c, machine::hopper(), core::CutoffGeometry::make_1d(q, m), /*periodic=*/true},
+        policy, even_counts(n, q));
+    engine.step();
+    const double per_team = static_cast<double>(n) / q;
+    const double k = (2.0 * m + 1.0) * per_team;  // window interactions per particle
+    const auto rep = bounds::check_cutoff_optimality(engine.comm().ledger(), 1, n, p, c, k);
+    const auto model = bounds::ca_cutoff_cost(n, p, c, m);
+    t.add_row({static_cast<long long>(c), static_cast<long long>(m), rep.measured.messages,
+               model.messages, rep.message_ratio, rep.measured.words, model.words,
+               rep.word_ratio});
+  }
+  t.print(std::cout);
+}
+
+void baseline_table() {
+  std::cout << "\n" << banner("Baselines vs CA extremes (Section II-B degeneracies)") << "\n\n";
+  const int p = 1024;
+  const std::uint64_t n = 16384;
+  Table t({{"algorithm", 22}, {"S meas", 9, 1}, {"W meas (particles)", 18, 0}});
+  {
+    core::PhantomPolicy policy({0.0, true});
+    core::CaAllPairs<core::PhantomPolicy> ca({p, 1, machine::hopper()}, policy,
+                                             even_counts(n, p));
+    ca.step();
+    t.add_row({std::string("ca c=1 (== ring)"),
+               static_cast<double>(ca.comm().ledger().critical_messages()),
+               static_cast<double>(ca.comm().ledger().critical_bytes()) / 52.0});
+  }
+  {
+    core::PhantomPolicy policy({0.0, true});
+    core::CaAllPairs<core::PhantomPolicy> ca({p, 32, machine::hopper()}, policy,
+                                             even_counts(n, 32));
+    ca.step();
+    t.add_row({std::string("ca c=32 (force-like)"),
+               static_cast<double>(ca.comm().ledger().critical_messages()),
+               static_cast<double>(ca.comm().ledger().critical_bytes()) / 52.0});
+  }
+  const auto pd = bounds::particle_decomposition_cost(static_cast<double>(n), p);
+  const auto fd = bounds::force_decomposition_cost(static_cast<double>(n), p);
+  t.add_row({std::string("particle decomp (model)"), pd.messages, pd.words});
+  t.add_row({std::string("force decomp (model)"), fd.messages, fd.words});
+  t.print(std::cout);
+}
+
+void related_work_table() {
+  std::cout << "\n"
+            << banner("Related work: each method meets Eq 3 at its own memory point")
+            << "\n\n";
+  // 1D cutoff spanning m0 = 64 ranks, p = 32768, n = 2^20. Section II-C/D:
+  // the spatial decomposition is optimal at M = n/p, neutral territory at
+  // M = n/sqrt(p); the CA algorithm interpolates with M = c n / p.
+  const double n = 1 << 20;
+  const double p = 32768;
+  const double m0 = 64;                   // ranks spanned by rc at c=1
+  const double k = n * (2 * m0 + 1) / p;  // interactions per particle
+  Table t({{"method", 26},
+           {"M/rank", 9, 0},
+           {"S", 9, 1},
+           {"W", 11, 0},
+           {"W bound", 11, 0},
+           {"W/bound", 8, 2}});
+  auto bound_w = [&](double mem) { return bounds::cutoff_lower_bound(n, p, mem, k).words; };
+  {
+    const double mem = n / p;
+    const auto sp = bounds::spatial_decomposition_cost(n, p, 2 * m0, 1);
+    t.add_row({std::string("spatial decomposition"), mem, sp.messages, sp.words, bound_w(mem),
+               sp.words / bound_w(mem)});
+  }
+  for (double c : {2.0, 8.0, 32.0}) {
+    const double m = m0 / c;  // window shrinks in teams as c grows
+    const double mem = bounds::memory_per_rank(n, p, c);
+    const auto ca = bounds::ca_cutoff_cost(n, p, c, m);
+    t.add_row({std::string("ca cutoff (c=" + std::to_string(static_cast<int>(c)) + ")"), mem,
+               ca.messages, ca.words, bound_w(mem), ca.words / bound_w(mem)});
+  }
+  {
+    const double mem = n / std::sqrt(p);
+    const auto nt = bounds::neutral_territory_cost(n, p, m0, 1);
+    t.add_row({std::string("neutral territory (Shaw)"), mem, nt.messages, nt.words,
+               bound_w(mem), nt.words / bound_w(mem)});
+  }
+  t.print(std::cout);
+  std::cout << "\n  Every row sits within a small constant of the Eq 3 lower bound at its\n"
+               "  own memory size; the CA algorithm is the only one that spans the whole\n"
+               "  memory axis with one tunable parameter (the paper's contribution).\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — communication-optimality validation tables\n";
+  all_pairs_table();
+  cutoff_table();
+  baseline_table();
+  related_work_table();
+  std::cout << "\nReading: S/bound and W/bound stay O(1) across the sweep (the log-factor\n"
+               "slack in S at large c comes from tree collectives) while the bound itself\n"
+               "drops as c^-2 and c^-1 — the paper's 'lower lower bound' via replication.\n";
+  return 0;
+}

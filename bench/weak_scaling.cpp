@@ -1,0 +1,69 @@
+// Weak scaling (extension): the paper evaluates strong scaling (Figs 3, 7);
+// here we hold n/p fixed and grow the machine. For all-pairs N-body, work
+// per rank grows linearly with p at fixed n/p (each particle meets all n),
+// so classic weak-scaling efficiency is not flat even for a perfect
+// algorithm; we therefore report time-per-step against the ideal-compute
+// line and the communication share, which the CA algorithm keeps bounded.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "bounds/lower_bounds.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bench;
+
+}  // namespace
+
+int main() {
+  std::cout << "CA-N-Body — weak scaling (n/p = 8 particles per core, Hopper model)\n\n";
+  const int per_rank = 8;
+
+  Table t({{"p", 8},
+           {"n", 9},
+           {"c", 5},
+           {"total(s)", 11, 5},
+           {"ideal(s)", 11, 5},
+           {"comm(s)", 11, 5},
+           {"comm %", 8, 1}});
+  for (int p : {1536, 6144, 24576}) {
+    const auto n = static_cast<std::uint64_t>(p) * per_rank;
+    for (int c : {1, 4, 16}) {
+      if (!vmpi::valid_all_pairs_replication(p, c)) continue;
+      const auto rep = run_ca_all_pairs(machine::hopper(), p, c, n, 1);
+      const double ideal =
+          bounds::model_serial_seconds(machine::hopper(), static_cast<double>(n)) / p;
+      t.add_row({static_cast<long long>(p), static_cast<long long>(n),
+                 static_cast<long long>(c), rep.total(), ideal, rep.communication(),
+                 100.0 * rep.communication() / rep.total()});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n" << banner("Cutoff weak scaling (constant work per rank)") << "\n\n";
+  // Weak scaling holds physical density constant: the box grows with p,
+  // so the cutoff spans a FIXED number of rank-widths while its box
+  // fraction shrinks. Per-rank work is then constant and time-per-step
+  // should stay flat for a scalable algorithm.
+  Table t2({{"p", 8}, {"n", 9}, {"c", 5}, {"total(s)", 11, 5}, {"comm(s)", 11, 5}});
+  for (int p : {1024, 4096, 16384}) {
+    const int n = p * per_rank;
+    for (int c : {1, 4, 16}) {
+      if (p % c != 0) continue;
+      // Fixed physical cutoff: rc spans 128 rank-widths at every machine
+      // size, so the window is m = 128/c teams and per-rank work is
+      // constant across both p and c.
+      const double rc_fraction = 128.0 / p;
+      const auto rep = run_ca_cutoff_1d(machine::hopper(), p, c, n, rc_fraction);
+      t2.add_row({static_cast<long long>(p), static_cast<long long>(n),
+                  static_cast<long long>(c), rep.total(), rep.communication()});
+    }
+  }
+  t2.print(std::cout);
+  std::cout << "\nReading: all-pairs weak scaling is inherently O(n^2/p) = O(p) per step;\n"
+               "the CA algorithm keeps the communication share small as p grows. Under\n"
+               "a cutoff the per-rank work is constant and the best-c total stays\n"
+               "nearly flat — weak-scalable in the classic sense.\n";
+  return 0;
+}

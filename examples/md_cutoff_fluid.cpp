@@ -1,0 +1,76 @@
+// Molecular-dynamics-style fluid with a cutoff: the Section IV workload.
+//
+// A 2D Lennard-Jones-like fluid where interactions are truncated at rc.
+// The CA cutoff algorithm decomposes space among teams, replicates each
+// team's particles c times, walks the interaction window in strides of c,
+// and re-assigns migrating particles every step — all of which shows up in
+// the phase breakdown printed at the end.
+//
+// Run: ./examples/md_cutoff_fluid [--n=800] [--p=32] [--c=2] [--steps=200]
+#include <iostream>
+
+#include "machine/presets.hpp"
+#include "particles/diagnostics.hpp"
+#include "particles/init.hpp"
+#include "sim/simulation.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace canb;
+  const CliArgs args(argc, argv, {"n", "p", "c", "steps"});
+  const int n = static_cast<int>(args.get_int("n", 800));
+  const int p = static_cast<int>(args.get_int("p", 32));
+  const int c = static_cast<int>(args.get_int("c", 2));
+  const int steps = static_cast<int>(args.get_int("steps", 200));
+
+  using Sim = sim::Simulation<particles::SoftSphere>;
+  Sim::Config cfg;
+  cfg.method = sim::Method::CaCutoff;
+  cfg.p = p;
+  cfg.c = c;
+  cfg.machine = machine::laptop();
+  cfg.box = particles::Box::reflective_2d(1.0);
+  // Soft repulsive spheres: stable at MD-ish timesteps without the stiff
+  // r^-12 core of true LJ, same communication structure.
+  cfg.kernel = particles::SoftSphere{/*stiffness=*/25.0, /*radius=*/0.04};
+  cfg.cutoff = 0.2;  // the interaction window: ~1/5 of the box
+  cfg.dt = 2e-3;
+
+  std::cout << "Cutoff fluid: " << n << " soft spheres, rc=" << cfg.cutoff << ", " << p
+            << " ranks (c=" << c << ", spatial decomposition + re-assignment)\n\n";
+
+  // Dense lattice start with thermal velocities: the fluid relaxes and
+  // particles diffuse across team boundaries, exercising re-assignment.
+  auto fluid = particles::init_lattice(n, cfg.box, /*jitter=*/0.3, /*seed=*/7);
+  {
+    Xoshiro256 rng(11);
+    for (auto& pt : fluid) {
+      pt.vx = static_cast<float>(rng.normal() * 0.05);
+      pt.vy = static_cast<float>(rng.normal() * 0.05);
+    }
+  }
+
+  Sim sim_run(cfg, std::move(fluid));
+
+  Table t({{"step", 6}, {"kinetic", 12, 6}, {"potential", 12, 6}, {"total E", 12, 6}});
+  const int report_every = std::max(1, steps / 5);
+  for (int s = 0; s <= steps; ++s) {
+    if (s % report_every == 0) {
+      const auto snap = sim_run.gather();
+      const auto st = particles::full_state(std::span<const particles::Particle>(snap),
+                                            cfg.box, cfg.kernel, cfg.cutoff);
+      t.add_row({static_cast<long long>(s), st.kinetic, st.potential, st.total()});
+    }
+    if (s < steps) sim_run.step();
+  }
+  t.print(std::cout);
+
+  std::vector<sim::RunReport> reps{sim_run.report("cutoff-fluid")};
+  std::cout << "\nper-step phase breakdown on the virtual cluster:\n";
+  sim::print_reports(std::cout, reps);
+  std::cout << "\nNote the re-assign column: spatial decompositions pay it every step\n"
+               "(Figure 6's 'Communication (Re-assign)' series).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bounds/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::bounds {
+
+double memory_per_rank(double n, double p, double c) {
+  CANB_REQUIRE(n > 0 && p > 0 && c > 0, "memory_per_rank needs positive inputs");
+  return c * n / p;
+}
+
+CostPair direct_lower_bound(double n, double p, double memory) {
+  CANB_REQUIRE(n > 0 && p > 0 && memory > 0, "direct_lower_bound needs positive inputs");
+  const double f = n * n / p;  // per-rank flops share
+  return {f / (memory * memory), f / memory};
+}
+
+CostPair cutoff_lower_bound(double n, double p, double memory, double k) {
+  CANB_REQUIRE(n > 0 && p > 0 && memory > 0 && k > 0,
+               "cutoff_lower_bound needs positive inputs");
+  const double f = n * k / p;
+  return {f / (memory * memory), f / memory};
+}
+
+CostPair ca_all_pairs_cost(double n, double p, double c) {
+  CANB_REQUIRE(n > 0 && p > 0 && c > 0, "ca_all_pairs_cost needs positive inputs");
+  return {p / (c * c), n / c};
+}
+
+CostPair ca_cutoff_cost(double n, double p, double c, double m) {
+  CANB_REQUIRE(n > 0 && p > 0 && c > 0 && m > 0, "ca_cutoff_cost needs positive inputs");
+  return {2.0 * m / c, 2.0 * m * n / p};
+}
+
+CostPair particle_decomposition_cost(double n, double p) { return {p, n}; }
+
+CostPair force_decomposition_cost(double n, double p) {
+  const double s = std::sqrt(p);
+  return {std::max(1.0, std::log2(p)), 2.0 * n / s};
+}
+
+CostPair spatial_decomposition_cost(double n, double p, double m, int dims) {
+  CANB_REQUIRE(n > 0 && p > 0 && m > 0 && dims >= 1, "needs positive inputs");
+  const double md = std::pow(m, dims);
+  return {md, n * md / p};
+}
+
+CostPair neutral_territory_cost(double n, double p, double m, int dims) {
+  CANB_REQUIRE(n > 0 && p > 0 && m > 0 && dims >= 1, "needs positive inputs");
+  const double md = std::pow(m, dims);
+  return {1.0, n * md / std::pow(p, 1.5)};
+}
+
+double interactions_per_particle_1d(double n, double rc, double box_len) {
+  CANB_REQUIRE(n > 0 && rc > 0 && box_len > 0, "needs positive inputs");
+  return std::min(1.0, 2.0 * rc / box_len) * n;
+}
+
+double model_serial_seconds(const machine::MachineModel& m, double n, double k) {
+  const double pairs = k > 0.0 ? n * k : n * (n - 1.0);
+  return m.gamma * pairs + m.gamma_flop * 12.0 * n;
+}
+
+namespace {
+OptimalityReport make_report(const vmpi::CostLedger& ledger, int steps, CostPair bound,
+                             double record_bytes) {
+  CANB_REQUIRE(steps >= 1, "need at least one accumulated step");
+  OptimalityReport rep;
+  rep.bound = bound;
+  rep.measured.messages =
+      static_cast<double>(ledger.critical_messages()) / static_cast<double>(steps);
+  rep.measured.words = static_cast<double>(ledger.critical_bytes()) /
+                       (record_bytes * static_cast<double>(steps));
+  rep.message_ratio = bound.messages > 0 ? rep.measured.messages / bound.messages : 0.0;
+  rep.word_ratio = bound.words > 0 ? rep.measured.words / bound.words : 0.0;
+  return rep;
+}
+}  // namespace
+
+OptimalityReport check_all_pairs_optimality(const vmpi::CostLedger& ledger, int steps, double n,
+                                            double p, double c, double record_bytes) {
+  const double mem = memory_per_rank(n, p, c);
+  return make_report(ledger, steps, direct_lower_bound(n, p, mem), record_bytes);
+}
+
+OptimalityReport check_cutoff_optimality(const vmpi::CostLedger& ledger, int steps, double n,
+                                         double p, double c, double k, double record_bytes) {
+  const double mem = memory_per_rank(n, p, c);
+  return make_report(ledger, steps, cutoff_lower_bound(n, p, mem, k), record_bytes);
+}
+
+}  // namespace canb::bounds

@@ -1,0 +1,80 @@
+// Communication lower bounds and cost models from the paper.
+//
+// Conventions: "words" are particle records (the paper's unit); S counts
+// messages along the critical path; all formulas are per timestep and drop
+// constant factors exactly as the paper's Ω/O expressions do. The
+// OptimalityChecker compares measured ledgers against these bounds and
+// reports the constant factor, which tests require to stay bounded across
+// parameter sweeps — the operational meaning of "communication-optimal".
+#pragma once
+
+#include <cstdint>
+
+#include "machine/machine_model.hpp"
+#include "vmpi/cost_ledger.hpp"
+
+namespace canb::bounds {
+
+struct CostPair {
+  double messages = 0.0;  ///< S: messages along the critical path
+  double words = 0.0;     ///< W: particle records along the critical path
+};
+
+/// Equation 4: memory per rank, in particle records, for replication c.
+double memory_per_rank(double n, double p, double c);
+
+/// Equation 2: lower bounds for direct (all-pairs) interactions with
+/// per-rank memory M (particle records).
+CostPair direct_lower_bound(double n, double p, double memory);
+
+/// Equation 3: lower bounds with a cutoff requiring k interactions per
+/// particle.
+CostPair cutoff_lower_bound(double n, double p, double memory, double k);
+
+/// Equation 5: the CA all-pairs algorithm's asymptotic cost.
+CostPair ca_all_pairs_cost(double n, double p, double c);
+
+/// Section IV-B: the CA cutoff algorithm's asymptotic cost, with m teams
+/// spanned by the cutoff radius on each side.
+CostPair ca_cutoff_cost(double n, double p, double c, double m);
+
+/// Section II-B: particle decomposition (ring) and force decomposition.
+CostPair particle_decomposition_cost(double n, double p);
+CostPair force_decomposition_cost(double n, double p);
+
+/// Section II-C/II-D related-work cost models for cutoff interactions with
+/// m processors spanned per axis in d dimensions:
+///   spatial:          S = O(m^d),  W = O(n m^d / p)   (optimal at M=n/p)
+///   neutral territory: S = O(1),   W = O(n m^d / p^1.5) (optimal at M=n/sqrt(p))
+CostPair spatial_decomposition_cost(double n, double p, double m, int dims);
+CostPair neutral_territory_cost(double n, double p, double m, int dims);
+
+/// Equation 7: interactions per particle for cutoff rc in a box of length
+/// l (1D): k = (2 rc / l) * n.
+double interactions_per_particle_1d(double n, double rc, double box_len);
+
+/// Modeled single-core time per step for n particles (used as the strong
+/// scaling efficiency baseline): all-pairs when k <= 0, else n*k pairs.
+double model_serial_seconds(const machine::MachineModel& m, double n, double k = 0.0);
+
+/// Measured-vs-bound certificate.
+struct OptimalityReport {
+  CostPair measured;      ///< from a CostLedger, words in particle records
+  CostPair bound;         ///< lower bound at the same memory size
+  double message_ratio = 0.0;  ///< measured.messages / bound.messages
+  double word_ratio = 0.0;     ///< measured.words / bound.words
+};
+
+/// Extracts critical-path S and W (in particle records of `record_bytes`)
+/// from a ledger accumulated over `steps` timesteps and compares with the
+/// direct lower bound for replication factor c.
+OptimalityReport check_all_pairs_optimality(const vmpi::CostLedger& ledger, int steps, double n,
+                                            double p, double c,
+                                            double record_bytes = 52.0);
+
+/// Same for the cutoff algorithm with k interactions per particle.
+OptimalityReport check_cutoff_optimality(const vmpi::CostLedger& ledger, int steps, double n,
+                                         double p, double c, double k,
+                                         double record_bytes = 52.0);
+
+}  // namespace canb::bounds

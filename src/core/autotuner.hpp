@@ -1,0 +1,140 @@
+// Replication-factor autotuning.
+//
+// The paper leaves open "the question of how to select the replication
+// factor c, which ... can be autotuned at runtime by trying multiple
+// factors" (Section V). This implements exactly that: candidate factors
+// are evaluated on phantom payloads against the machine model — the same
+// schedules, ledgers, and clocks as a real run, at a tiny fraction of the
+// cost — and the fastest c wins. A real deployment would do trial
+// timesteps; here trial timesteps on the virtual machine are exact.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "machine/machine_model.hpp"
+#include "support/assert.hpp"
+
+namespace canb::core {
+
+struct TuneResult {
+  int best_c = 1;
+  double best_seconds = 0.0;   ///< modeled time per step at best_c
+  struct Candidate {
+    int c = 1;
+    double seconds = 0.0;      ///< modeled time per step
+    double comm_seconds = 0.0; ///< communication share
+    double memory_factor = 1.0;  ///< per-rank memory multiplier vs c=1
+  };
+  std::vector<Candidate> candidates;  ///< every c tried, in ascending order
+};
+
+class Autotuner {
+ public:
+  struct Config {
+    int p = 1;
+    std::uint64_t n = 0;
+    machine::MachineModel machine;
+    /// Memory budget: largest tolerable replication factor (0 = sqrt(p),
+    /// the algorithmic maximum).
+    int max_c = 0;
+    /// Cutoff window radius in teams at c=1, or 0 for all-pairs. For
+    /// cutoff problems the radius scales with the team count as c varies.
+    double rc_fraction = 0.0;  ///< cutoff radius as a fraction of the box
+    int dims = 1;              ///< cutoff decomposition dimensionality
+  };
+
+  explicit Autotuner(Config cfg) : cfg_(std::move(cfg)) {
+    CANB_REQUIRE(cfg_.p >= 1 && cfg_.n >= 1, "autotuner needs p >= 1 and n >= 1");
+  }
+
+  /// Evaluates every valid power-of-two replication factor and returns the
+  /// modeled-fastest. Deterministic and side-effect free.
+  TuneResult tune() const {
+    TuneResult result;
+    double best = -1.0;
+    const int limit = cfg_.max_c > 0 ? cfg_.max_c : cfg_.p;
+    for (int c = 1; c <= limit; c *= 2) {
+      const auto seconds = evaluate(c);
+      if (!seconds) continue;
+      TuneResult::Candidate cand;
+      cand.c = c;
+      cand.seconds = seconds->first;
+      cand.comm_seconds = seconds->second;
+      cand.memory_factor = static_cast<double>(c);
+      result.candidates.push_back(cand);
+      if (best < 0.0 || cand.seconds < best) {
+        best = cand.seconds;
+        result.best_c = c;
+        result.best_seconds = cand.seconds;
+      }
+    }
+    CANB_REQUIRE(!result.candidates.empty(), "no valid replication factor for this (p, n)");
+    return result;
+  }
+
+ private:
+  /// Returns {total, communication} seconds per step for factor c, or
+  /// nullopt when c is invalid for this configuration.
+  std::optional<std::pair<double, double>> evaluate(int c) const {
+    PhantomPolicy policy({/*reassign_fraction=*/0.05, /*bulk=*/true});
+    if (cfg_.rc_fraction <= 0.0) {
+      if (!vmpi::valid_all_pairs_replication(cfg_.p, c)) return std::nullopt;
+      CaAllPairs<PhantomPolicy> engine({cfg_.p, c, cfg_.machine}, policy,
+                                       even_blocks(cfg_.p / c));
+      engine.step();
+      return split_comm(engine.comm());
+    }
+    const int q = cfg_.p / c;
+    if (cfg_.p % c != 0) return std::nullopt;
+    if (cfg_.dims == 1) {
+      const int m = window_radius_teams(cfg_.rc_fraction, 1.0, q);
+      if (2 * m + 1 > q || !vmpi::valid_cutoff_replication(cfg_.p, c, m)) return std::nullopt;
+      CaCutoff<PhantomPolicy> engine(
+          {cfg_.p, c, cfg_.machine, CutoffGeometry::make_1d(q, m), false}, policy,
+          even_blocks(q));
+      engine.step();
+      return split_comm(engine.comm());
+    }
+    // 2D: near-square team grid.
+    int qx = 1;
+    for (int f = 1; f * f <= q; ++f) {
+      if (q % f == 0) qx = f;
+    }
+    const int qy = q / qx;
+    const int mx = window_radius_teams(cfg_.rc_fraction, 1.0, qx);
+    const int my = window_radius_teams(cfg_.rc_fraction, 1.0, qy);
+    if (2 * mx + 1 > qx || 2 * my + 1 > qy) return std::nullopt;
+    if (c > (2 * mx + 1) * (2 * my + 1)) return std::nullopt;
+    CaCutoff<PhantomPolicy> engine(
+        {cfg_.p, c, cfg_.machine, CutoffGeometry::make_2d(qx, qy, mx, my), false}, policy,
+        even_blocks(q));
+    engine.step();
+    return split_comm(engine.comm());
+  }
+
+  std::vector<PhantomBlock> even_blocks(int q) const {
+    std::vector<PhantomBlock> out(static_cast<std::size_t>(q));
+    const std::uint64_t base = cfg_.n / static_cast<std::uint64_t>(q);
+    const std::uint64_t extra = cfg_.n % static_cast<std::uint64_t>(q);
+    for (int t = 0; t < q; ++t)
+      out[static_cast<std::size_t>(t)].count = base + (static_cast<std::uint64_t>(t) < extra);
+    return out;
+  }
+
+  static std::pair<double, double> split_comm(const vmpi::VirtualComm& vc) {
+    const double total = vc.max_clock();
+    double compute = 0.0;
+    for (int r = 0; r < vc.size(); ++r)
+      compute = std::max(compute, vc.ledger().seconds(r, vmpi::Phase::Compute));
+    return {total, std::max(0.0, total - compute)};
+  }
+
+  Config cfg_;
+};
+
+}  // namespace canb::core

@@ -1,0 +1,234 @@
+// Algorithm 1 of the paper: CA-ALL-PAIRS-N-BODY.
+//
+// p ranks form a c-by-(p/c) grid. Teams (columns) own particle subsets; a
+// timestep is:
+//   1. broadcast the team's block from the leader to the team     (log c msgs)
+//   2. copy to an exchange buffer
+//   3. skew: row k shifts its exchange buffer east by k           (1 msg)
+//   4. p/c^2 times: shift east by c, then interact                (p/c^2 msgs)
+//   5. sum-reduce force contributions within the team             (log c msgs)
+//   6. leaders integrate their subset
+//
+// Setting c=1 degenerates to Plimpton's particle decomposition (a ring
+// pass); c=sqrt(p) degenerates to his force decomposition. Intermediate c
+// trades memory (c copies of the particles) for communication, meeting the
+// lower bound W = Ω(n^2/(p·M)) for every c (Section III-B).
+//
+// The engine is a template over a payload Policy (see policy.hpp); with
+// PhantomPolicy and uniform blocks it takes an exact O(p)-per-step bulk
+// fast path that reproduces the per-step ledger identically.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "particles/integrator.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "vmpi/primitives.hpp"
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::core {
+
+template <class Policy>
+class CaAllPairs {
+ public:
+  using Buffer = typename Policy::Buffer;
+
+  struct Config {
+    int p = 1;                       ///< total ranks
+    int c = 1;                       ///< replication factor
+    machine::MachineModel machine;   ///< cost model
+  };
+
+  /// `team_blocks` holds one block per team (q = p/c blocks); block t is
+  /// owned by team t's leader. Requires a valid replication factor:
+  /// c | p and c | (p/c), so the shift loop runs p/c^2 whole steps.
+  CaAllPairs(Config cfg, Policy policy, std::vector<Buffer> team_blocks)
+      : cfg_(std::move(cfg)),
+        policy_(std::move(policy)),
+        grid_(vmpi::Grid2d::make(cfg_.p, cfg_.c)),
+        vc_(cfg_.p, cfg_.machine),
+        integrator_(std::make_unique<particles::VelocityVerlet>()) {
+    CANB_REQUIRE(vmpi::valid_all_pairs_replication(cfg_.p, cfg_.c),
+                 "invalid replication factor: need c | p and c | p/c (so c^2 <= p)");
+    CANB_REQUIRE(static_cast<int>(team_blocks.size()) == grid_.cols(),
+                 "need exactly p/c team blocks");
+    steps_ = grid_.cols() / grid_.rows();
+    resident_.resize(static_cast<std::size_t>(cfg_.p));
+    carried_.resize(static_cast<std::size_t>(cfg_.p));
+    for (int t = 0; t < grid_.cols(); ++t)
+      resident_[static_cast<std::size_t>(grid_.leader(t))] = std::move(team_blocks[static_cast<std::size_t>(t)]);
+  }
+
+  void set_integrator(std::unique_ptr<particles::Integrator> integ) {
+    integrator_ = std::move(integ);
+  }
+
+  /// Attaches a host thread pool: the per-rank interaction loop (the O(n^2/p)
+  /// force arithmetic) fans out across host threads. Virtual-rank arithmetic
+  /// stays sequential per rank, so results are bitwise identical to serial.
+  void set_host_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
+
+  /// Executes one full timestep (force evaluation + integration).
+  void step() {
+    pre_integrate();
+    broadcast_and_stage();
+    if (use_bulk_path()) {
+      bulk_shift_loop();
+    } else {
+      shift_loop();
+    }
+    vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes,
+                       [](Buffer& acc, const Buffer& in) { Policy::combine(acc, in); });
+    post_integrate();
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  // --- observers ---------------------------------------------------------
+  const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  vmpi::VirtualComm& comm() noexcept { return vc_; }
+  const vmpi::Grid2d& grid() const noexcept { return grid_; }
+  const Config& config() const noexcept { return cfg_; }
+  const Policy& policy() const noexcept { return policy_; }
+  int shift_steps() const noexcept { return steps_; }
+
+  /// Leader blocks in team order (the authoritative particle state).
+  std::vector<Buffer> team_results() const {
+    std::vector<Buffer> out;
+    out.reserve(static_cast<std::size_t>(grid_.cols()));
+    for (int t = 0; t < grid_.cols(); ++t)
+      out.push_back(resident_[static_cast<std::size_t>(grid_.leader(t))]);
+    return out;
+  }
+
+ private:
+  struct Carried {
+    Buffer buf{};
+    int team = -1;
+  };
+  static std::uint64_t carried_bytes(const Carried& c) noexcept { return Policy::bytes(c.buf); }
+
+  void pre_integrate() {
+    if constexpr (!Policy::kIsPhantom) {
+      for (int t = 0; t < grid_.cols(); ++t)
+        policy_.pre_force(*integrator_, resident_[static_cast<std::size_t>(grid_.leader(t))]);
+    }
+  }
+
+  void broadcast_and_stage() {
+    vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes);
+    for (int r = 0; r < cfg_.p; ++r) {
+      auto& c = carried_[static_cast<std::size_t>(r)];
+      c.buf = resident_[static_cast<std::size_t>(r)];
+      c.team = grid_.col_of(r);
+    }
+    vmpi::skew_rows(vc_, grid_, [](int row) { return row; }, carried_,
+                    &CaAllPairs::carried_bytes);
+  }
+
+  // Note a refinement over the paper's pseudocode: we interact with the
+  // freshly skewed block BEFORE the first shift, so the loop needs only
+  // p/c^2 - 1 shift rounds for the same p/c^2 updates (the pseudocode's
+  // version shifts first and relies on the skewed block coming back around
+  // on the final wrap). Coverage is identical — row k sees blocks at
+  // offsets {k + c*j mod q} either way — and at c=1 the schedule becomes
+  // exactly the classic p-1-round systolic ring.
+  void shift_loop() {
+    interact_all();
+    for (int j = 1; j < steps_; ++j) {
+      vmpi::shift_rows(vc_, grid_, grid_.rows(), carried_, &CaAllPairs::carried_bytes);
+      interact_all();
+    }
+  }
+
+  void interact_all() {
+    auto body = [&](int b, int e) {
+      for (int r = b; r < e; ++r) {
+        auto& carried = carried_[static_cast<std::size_t>(r)];
+        const bool same = carried.team == grid_.col_of(r);
+        const auto stats =
+            policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf, same);
+        // Per-rank ledger rows and clocks are disjoint: safe across threads.
+        vc_.charge_interactions(r, static_cast<double>(stats.examined));
+      }
+    };
+    if (pool_) {
+      pool_->parallel_for_chunks(0, cfg_.p, body);
+    } else {
+      body(0, cfg_.p);
+    }
+  }
+
+  // The bulk fast path applies when blocks are phantom and uniform: every
+  // rank then behaves identically each shift step (no waits), so `steps_`
+  // iterations can be charged in O(p) total. Produces a ledger exactly
+  // equal to the per-step path (verified by tests).
+  bool use_bulk_path() const {
+    if constexpr (Policy::kIsPhantom) {
+      if (!policy_.config().bulk_uniform) return false;
+      // Hop-aware latency varies per rank pair (rank order maps onto a
+      // torus), so the uniform-charge shortcut would be wrong.
+      if (cfg_.machine.alpha_hop > 0.0) return false;
+      const std::uint64_t c0 = Policy::count(resident_[static_cast<std::size_t>(grid_.leader(0))]);
+      for (int t = 1; t < grid_.cols(); ++t) {
+        if (Policy::count(resident_[static_cast<std::size_t>(grid_.leader(t))]) != c0) return false;
+      }
+      return true;
+    } else {
+      return false;
+    }
+  }
+
+  void bulk_shift_loop() {
+    if constexpr (Policy::kIsPhantom) {
+      const std::uint64_t cnt = Policy::count(resident_[0]);
+      const auto w = static_cast<std::uint64_t>(cnt * particles::kParticleBytes);
+      const auto steps = static_cast<std::uint64_t>(steps_);
+      // steps_ - 1 shift rounds (interact-first loop); when c ≡ 0 (mod q)
+      // the shift would be a no-op anyway (the c = sqrt(p)
+      // force-decomposition end point has steps_ == 1).
+      if (steps > 1 && grid_.rows() % grid_.cols() != 0) {
+        vc_.advance_all(vmpi::Phase::Shift, cfg_.machine.shift_time(static_cast<double>(w)), 1, w,
+                        steps - 1);
+      }
+      // Every rank examines cnt^2 pairs per step; a rank meets its own
+      // team's block exactly once over the loop iff it sits in row 0, and
+      // then skips cnt self-pairs.
+      const double full = static_cast<double>(cnt) * static_cast<double>(cnt) *
+                          static_cast<double>(steps);
+      for (int r = 0; r < cfg_.p; ++r) {
+        const double self = grid_.row_of(r) == 0 ? static_cast<double>(cnt) : 0.0;
+        vc_.charge_interactions(r, full - self);
+      }
+    }
+  }
+
+  void post_integrate() {
+    const double flops = kIntegrateFlopsPerParticle;
+    for (int t = 0; t < grid_.cols(); ++t) {
+      const int leader = grid_.leader(t);
+      auto& block = resident_[static_cast<std::size_t>(leader)];
+      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      vc_.advance(leader, vmpi::Phase::Compute,
+                  cfg_.machine.gamma_flop * flops * static_cast<double>(Policy::count(block)));
+    }
+  }
+
+  Config cfg_;
+  Policy policy_;
+  vmpi::Grid2d grid_;
+  vmpi::VirtualComm vc_;
+  std::unique_ptr<particles::Integrator> integrator_;
+  std::shared_ptr<ThreadPool> pool_;
+  std::vector<Buffer> resident_;
+  std::vector<Carried> carried_;
+  int steps_ = 0;
+};
+
+}  // namespace canb::core

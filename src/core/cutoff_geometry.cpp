@@ -1,0 +1,36 @@
+#include "core/cutoff_geometry.hpp"
+
+#include <cmath>
+
+namespace canb::core {
+
+CutoffGeometry::CutoffGeometry(int dims, int qx, int qy, int qz, int mx, int my, int mz)
+    : dims_(dims), qx_(qx), qy_(qy), qz_(qz), mx_(mx), my_(my), mz_(mz) {
+  CANB_REQUIRE(qx >= 1 && qy >= 1 && qz >= 1, "team grid dims must be >= 1");
+  CANB_REQUIRE(mx >= 0 && my >= 0 && mz >= 0, "window radii must be >= 0");
+  // A window wider than the team grid would make a block visit some team
+  // twice via the ring (double counting); such configurations must use the
+  // all-pairs algorithm instead.
+  CANB_REQUIRE(2 * mx + 1 <= qx, "x window must not exceed the team grid");
+  CANB_REQUIRE(2 * my + 1 <= qy || dims < 2, "y window must not exceed the team grid");
+  CANB_REQUIRE(2 * mz + 1 <= qz || dims < 3, "z window must not exceed the team grid");
+}
+
+CutoffGeometry CutoffGeometry::make_1d(int q, int m) {
+  return CutoffGeometry(1, q, 1, 1, m, 0, 0);
+}
+
+CutoffGeometry CutoffGeometry::make_2d(int qx, int qy, int mx, int my) {
+  return CutoffGeometry(2, qx, qy, 1, mx, my, 0);
+}
+
+CutoffGeometry CutoffGeometry::make_3d(int qx, int qy, int qz, int mx, int my, int mz) {
+  return CutoffGeometry(3, qx, qy, qz, mx, my, mz);
+}
+
+int window_radius_teams(double rc, double len, int q) {
+  CANB_REQUIRE(rc > 0.0 && len > 0.0 && q >= 1, "window_radius_teams needs positive inputs");
+  return static_cast<int>(std::ceil(rc * static_cast<double>(q) / len - 1e-9));
+}
+
+}  // namespace canb::core

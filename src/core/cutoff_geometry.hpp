@@ -1,0 +1,143 @@
+// Geometry of distance-limited interactions (Sections IV-A and IV-C).
+//
+// Teams own contiguous spatial regions. The interaction *window* of a team
+// is the set of block offsets it must see: [-m, m] in 1D (2m+1 slots), the
+// (2mx+1)x(2my+1) neighborhood in 2D, and the full (2m+1)^3 box in 3D —
+// the paper's generalization: "we recommend linearizing the
+// high-dimensional space, calculating shifts in 1D, and mapping the
+// pattern back into the original space" (Section IV-C). Replication row k
+// walks slots k, k+c, k+2c, ... of the row-major linearization so the c
+// rows cover the window together. When c does not divide the window size
+// the last slots of some rows fall outside it — those ranks idle for that
+// step (padding), exactly like a real implementation.
+//
+// Under reflective (non-periodic) boundaries, offsets that leave the team
+// grid are invalid: the ring transport still carries the wrapped block but
+// the receiving rank must not interact with it. This is the source of the
+// boundary load imbalance the paper reports (Section IV-D2).
+#pragma once
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace canb::core {
+
+/// A displacement in the (up to 3-dimensional) team grid.
+struct TeamOffset {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const TeamOffset&) const = default;
+};
+
+/// Back-compat alias: the 2D engines predate the 3D generalization.
+using Offset2 = TeamOffset;
+
+class CutoffGeometry {
+ public:
+  /// 1D: q teams in a row, window radius m teams each side.
+  static CutoffGeometry make_1d(int q, int m);
+  /// 2D: qx-by-qy teams, window radius mx/my teams per axis.
+  static CutoffGeometry make_2d(int qx, int qy, int mx, int my);
+  /// 3D: qx-by-qy-by-qz teams (Section IV-C: "a grid of the same
+  /// dimensionality" as the simulation space).
+  static CutoffGeometry make_3d(int qx, int qy, int qz, int mx, int my, int mz);
+
+  int dims() const noexcept { return dims_; }
+  int teams() const noexcept { return qx_ * qy_ * qz_; }
+  int qx() const noexcept { return qx_; }
+  int qy() const noexcept { return qy_; }
+  int qz() const noexcept { return qz_; }
+  int mx() const noexcept { return mx_; }
+  int my() const noexcept { return my_; }
+  int mz() const noexcept { return mz_; }
+
+  /// Number of valid window slots: prod over axes of (2m+1).
+  int window() const noexcept { return (2 * mx_ + 1) * (2 * my_ + 1) * (2 * mz_ + 1); }
+
+  /// Slots per replication row for replication factor c: ceil(window / c).
+  int slots_per_row(int c) const noexcept { return (window() + c - 1) / c; }
+
+  /// Block offset of slot s (s may exceed window() for padding slots; the
+  /// returned offset then falls outside the window and is reported invalid).
+  TeamOffset slot_offset(int s) const noexcept {
+    const int wx = 2 * mx_ + 1;
+    const int wy = 2 * my_ + 1;
+    return {s % wx - mx_, (s / wx) % wy - my_, s / (wx * wy) - mz_};
+  }
+
+  /// True iff slot s addresses a real window offset.
+  bool slot_in_window(int s) const noexcept { return s >= 0 && s < window(); }
+
+  /// Inverse of slot_offset for offsets inside the window; -1 outside.
+  int slot_of(TeamOffset off) const noexcept {
+    if (off.x < -mx_ || off.x > mx_ || off.y < -my_ || off.y > my_ || off.z < -mz_ ||
+        off.z > mz_) {
+      return -1;
+    }
+    const int wx = 2 * mx_ + 1;
+    const int wy = 2 * my_ + 1;
+    return ((off.z + mz_) * wy + (off.y + my_)) * wx + (off.x + mx_);
+  }
+
+  /// Slot whose offset is (0,0,0) — the team's own block.
+  int center_slot() const noexcept {
+    const int wx = 2 * mx_ + 1;
+    const int wy = 2 * my_ + 1;
+    return (mz_ * wy + my_) * wx + mx_;
+  }
+
+  /// Team column reached from `col` by `off`, wrapping per-axis (transport
+  /// is a torus regardless of the physical boundary condition).
+  int wrap_team(int col, TeamOffset off) const noexcept {
+    int tx = (col % qx_ + off.x) % qx_;
+    if (tx < 0) tx += qx_;
+    int ty = ((col / qx_) % qy_ + off.y) % qy_;
+    if (ty < 0) ty += qy_;
+    int tz = (col / (qx_ * qy_) + off.z) % qz_;
+    if (tz < 0) tz += qz_;
+    return (tz * qy_ + ty) * qx_ + tx;
+  }
+
+  /// True iff `col` offset by `off` stays inside the (non-wrapping) team
+  /// grid — required for interaction validity under reflective boundaries.
+  bool in_bounds(int col, TeamOffset off) const noexcept {
+    const int tx = col % qx_ + off.x;
+    const int ty = (col / qx_) % qy_ + off.y;
+    const int tz = col / (qx_ * qy_) + off.z;
+    return tx >= 0 && tx < qx_ && ty >= 0 && ty < qy_ && tz >= 0 && tz < qz_;
+  }
+
+  /// Whether a rank at (replication row, team col) interacts at loop
+  /// iteration j: the slot must be in-window and, if not periodic, in
+  /// bounds. Also reports whether it is the self-block slot.
+  struct SlotInfo {
+    bool valid = false;
+    bool self = false;
+    TeamOffset offset{};
+  };
+  SlotInfo slot_info(int row, int col, int j, int c, bool periodic) const noexcept {
+    const int s = row + c * j;
+    if (!slot_in_window(s)) return {};
+    const TeamOffset off = slot_offset(s);
+    if (!periodic && !in_bounds(col, off)) return {false, false, off};
+    return {true, off == TeamOffset{}, off};
+  }
+
+ private:
+  CutoffGeometry(int dims, int qx, int qy, int qz, int mx, int my, int mz);
+  int dims_;
+  int qx_;
+  int qy_;
+  int qz_;
+  int mx_;
+  int my_;
+  int mz_;
+};
+
+/// Window radius in teams spanned by cutoff `rc` in a box of length `len`
+/// split into `q` segments (Equation 6 rearranged: m = rc * q / len).
+int window_radius_teams(double rc, double len, int q);
+
+}  // namespace canb::core

@@ -1,0 +1,129 @@
+// Payload policies: the schedule/payload split.
+//
+// Every CA engine is a template over a Policy that defines what a "block"
+// is and how blocks interact. Two policies exist:
+//
+//  * RealPolicy<K>  — blocks are real particle vectors; interactions run the
+//    force kernel; used by tests, examples, and small-scale benches.
+//  * PhantomPolicy  — blocks are particle *counts*; interactions only count
+//    pairs. The communication schedule, ledger charges, and virtual clocks
+//    are identical to RealPolicy by construction (tests verify this), which
+//    lets benches replay the paper's 24K–32K-rank experiments in seconds.
+//
+// The interact() contract: `same_block` is true when the visiting block is a
+// copy of the resident block (self-interaction step); policies must exclude
+// self-pairs from the examined count so both modes agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "particles/integrator.hpp"
+#include "particles/kernels.hpp"
+#include "particles/particle.hpp"
+#include "support/assert.hpp"
+
+namespace canb::core {
+
+/// Pairwise-interaction work units reported by a policy.
+struct InteractStats {
+  std::uint64_t examined = 0;
+};
+
+/// Flop weight of integrating one particle for one step (charged via
+/// MachineModel::gamma_flop; identical in both modes).
+inline constexpr double kIntegrateFlopsPerParticle = 12.0;
+
+template <particles::ForceKernel K>
+class RealPolicy {
+ public:
+  using Buffer = particles::Block;
+  static constexpr bool kIsPhantom = false;
+
+  struct Config {
+    particles::Box box;
+    K kernel{};
+    double cutoff = 0.0;  ///< 0 = no cutoff
+    double dt = 1e-3;
+  };
+
+  explicit RealPolicy(Config cfg) : cfg_(std::move(cfg)) { cfg_.box.validate(); }
+
+  static std::uint64_t bytes(const Buffer& b) noexcept { return particles::block_bytes(b); }
+  static std::uint64_t count(const Buffer& b) noexcept { return b.size(); }
+
+  InteractStats interact(Buffer& resident, const Buffer& visitor, bool /*same_block*/) const {
+    const auto stats = particles::accumulate_forces(
+        std::span<particles::Particle>(resident), std::span<const particles::Particle>(visitor),
+        cfg_.box, cfg_.kernel, cfg_.cutoff);
+    return {stats.examined};
+  }
+
+  /// Sums force accumulators of `in` into `acc` (team reduction combine).
+  static void combine(Buffer& acc, const Buffer& in) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i].fx += in[i].fx;
+      acc[i].fy += in[i].fy;
+    }
+  }
+
+  void pre_force(const particles::Integrator& integ, Buffer& b) const {
+    integ.pre_force(b, cfg_.dt);
+    particles::clear_forces(b);
+  }
+  void post_force(const particles::Integrator& integ, Buffer& b) const {
+    integ.post_force(b, cfg_.dt, cfg_.box);
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+  const particles::Box& box() const noexcept { return cfg_.box; }
+  double cutoff() const noexcept { return cfg_.cutoff; }
+
+ private:
+  Config cfg_;
+};
+
+/// A block that exists only as a particle count.
+struct PhantomBlock {
+  std::uint64_t count = 0;
+};
+
+class PhantomPolicy {
+ public:
+  using Buffer = PhantomBlock;
+  static constexpr bool kIsPhantom = true;
+
+  struct Config {
+    /// Fraction of particles assumed to cross a team boundary per step
+    /// (drives the Re-assign phase cost in cutoff benches).
+    double reassign_fraction = 0.05;
+    /// Enables the exact bulk fast path for uniform all-pairs schedules.
+    bool bulk_uniform = true;
+  };
+
+  PhantomPolicy() = default;
+  explicit PhantomPolicy(Config cfg) : cfg_(cfg) {}
+
+  static std::uint64_t bytes(const Buffer& b) noexcept {
+    return b.count * particles::kParticleBytes;
+  }
+  static std::uint64_t count(const Buffer& b) noexcept { return b.count; }
+
+  InteractStats interact(Buffer& resident, const Buffer& visitor, bool same_block) const {
+    const std::uint64_t self = same_block ? resident.count : 0;
+    return {resident.count * visitor.count - self};
+  }
+
+  static void combine(Buffer& acc, const Buffer& in) {
+    // Counts must agree — a reduction combines replicas of the same block.
+    CANB_ASSERT(acc.count == in.count);
+    (void)in;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_{};
+};
+
+}  // namespace canb::core

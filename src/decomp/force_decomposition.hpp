@@ -1,0 +1,135 @@
+// Plimpton's force decomposition (Section II-B, [Plimpton 1995]).
+//
+// p = s^2 ranks form an s-by-s grid; particles split into s blocks of n/s.
+// Rank (i,j) computes the forces block j exerts on block i. Per step:
+//   1. broadcast block i along grid row i        (log s msgs, n/s words)
+//   2. broadcast block j along grid column j     (log s msgs, n/s words)
+//   3. local (n/s)^2 interactions
+//   4. reduce forces on block i along row i to the diagonal owner
+// S = O(log p), W = O(n/sqrt(p)) — the c = sqrt(p) extreme of the CA
+// algorithm's cost spectrum.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "particles/integrator.hpp"
+#include "support/assert.hpp"
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::decomp {
+
+template <class Policy>
+class ForceDecomposition {
+ public:
+  using Buffer = typename Policy::Buffer;
+
+  struct Config {
+    int p = 1;  ///< must be a perfect square
+    machine::MachineModel machine;
+  };
+
+  /// `blocks` holds s = sqrt(p) particle blocks; block i is owned by the
+  /// diagonal rank (i,i).
+  ForceDecomposition(Config cfg, Policy policy, std::vector<Buffer> blocks)
+      : cfg_(std::move(cfg)),
+        policy_(std::move(policy)),
+        vc_(cfg_.p, cfg_.machine),
+        integrator_(std::make_unique<particles::VelocityVerlet>()) {
+    s_ = static_cast<int>(std::lround(std::sqrt(static_cast<double>(cfg_.p))));
+    CANB_REQUIRE(s_ * s_ == cfg_.p, "force decomposition needs a square rank count");
+    CANB_REQUIRE(static_cast<int>(blocks.size()) == s_, "need sqrt(p) blocks");
+    diag_ = std::move(blocks);
+    row_copy_.resize(static_cast<std::size_t>(cfg_.p));
+    col_copy_.resize(static_cast<std::size_t>(cfg_.p));
+    rows_.resize(static_cast<std::size_t>(s_));
+    cols_.resize(static_cast<std::size_t>(s_));
+    for (int i = 0; i < s_; ++i) {
+      for (int j = 0; j < s_; ++j) {
+        rows_[static_cast<std::size_t>(i)].push_back(rank(i, j));
+        cols_[static_cast<std::size_t>(j)].push_back(rank(i, j));
+      }
+    }
+  }
+
+  void set_integrator(std::unique_ptr<particles::Integrator> integ) {
+    integrator_ = std::move(integ);
+  }
+
+  void step() {
+    if constexpr (!Policy::kIsPhantom) {
+      for (auto& b : diag_) policy_.pre_force(*integrator_, b);
+    }
+    // Row broadcast of block i, column broadcast of block j.
+    vc_.group_collective(rows_, vmpi::Phase::Broadcast, /*is_reduce=*/false, [&](int i) {
+      return static_cast<double>(Policy::bytes(diag_[static_cast<std::size_t>(i)]));
+    });
+    vc_.group_collective(cols_, vmpi::Phase::Broadcast, /*is_reduce=*/false, [&](int j) {
+      return static_cast<double>(Policy::bytes(diag_[static_cast<std::size_t>(j)]));
+    });
+    for (int i = 0; i < s_; ++i) {
+      for (int j = 0; j < s_; ++j) {
+        const auto r = static_cast<std::size_t>(rank(i, j));
+        row_copy_[r] = diag_[static_cast<std::size_t>(i)];
+        col_copy_[r] = diag_[static_cast<std::size_t>(j)];
+      }
+    }
+    // Local block-block interactions: forces ON row block FROM col block.
+    for (int i = 0; i < s_; ++i) {
+      for (int j = 0; j < s_; ++j) {
+        const int r = rank(i, j);
+        const auto stats = policy_.interact(row_copy_[static_cast<std::size_t>(r)],
+                                            col_copy_[static_cast<std::size_t>(r)], i == j);
+        vc_.charge_interactions(r, static_cast<double>(stats.examined));
+      }
+    }
+    // Reduce forces on block i along row i back to the diagonal.
+    vc_.group_collective(rows_, vmpi::Phase::Reduce, /*is_reduce=*/true, [&](int i) {
+      return static_cast<double>(Policy::bytes(diag_[static_cast<std::size_t>(i)]));
+    });
+    for (int i = 0; i < s_; ++i) {
+      auto& acc = diag_[static_cast<std::size_t>(i)];
+      // The diagonal copy already carries (i,i)'s contribution; overwrite
+      // the owner block's forces with it, then fold in the other columns.
+      acc = row_copy_[static_cast<std::size_t>(rank(i, i))];
+      for (int j = 0; j < s_; ++j) {
+        if (j == i) continue;
+        Policy::combine(acc, row_copy_[static_cast<std::size_t>(rank(i, j))]);
+      }
+    }
+    for (int i = 0; i < s_; ++i) {
+      auto& block = diag_[static_cast<std::size_t>(i)];
+      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      vc_.advance(rank(i, i), vmpi::Phase::Compute,
+                  cfg_.machine.gamma_flop * core::kIntegrateFlopsPerParticle *
+                      static_cast<double>(Policy::count(block)));
+    }
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  int side() const noexcept { return s_; }
+  std::vector<Buffer> team_results() const { return diag_; }
+
+ private:
+  int rank(int i, int j) const noexcept { return i * s_ + j; }
+
+  Config cfg_;
+  Policy policy_;
+  vmpi::VirtualComm vc_;
+  std::unique_ptr<particles::Integrator> integrator_;
+  int s_ = 0;
+  std::vector<Buffer> diag_;
+  std::vector<Buffer> row_copy_;
+  std::vector<Buffer> col_copy_;
+  std::vector<std::vector<int>> rows_;
+  std::vector<std::vector<int>> cols_;
+};
+
+}  // namespace canb::decomp

@@ -1,0 +1,187 @@
+// Baseline particle decompositions (Section II-B).
+//
+// Each of p ranks owns n/p particles and must see all n.
+//
+//  * ParticleDecompositionRing — the classic systolic pass: p-1 shift
+//    rounds move every block past every rank. S = O(p), W = O(n).
+//    Identical in cost to the CA algorithm at c = 1 (the degeneracy test
+//    in tests/ verifies ledger equality).
+//  * ParticleDecompositionAllGather — the "naive" variant: one
+//    whole-machine all-gather per step. On machines with a dedicated
+//    collective network (BlueGene/P "tree") this is the hardware-assisted
+//    baseline of Fig. 2c/2d.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "particles/integrator.hpp"
+#include "support/assert.hpp"
+#include "vmpi/primitives.hpp"
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::decomp {
+
+template <class Policy>
+class ParticleDecompositionRing {
+ public:
+  using Buffer = typename Policy::Buffer;
+
+  struct Config {
+    int p = 1;
+    machine::MachineModel machine;
+  };
+
+  ParticleDecompositionRing(Config cfg, Policy policy, std::vector<Buffer> blocks)
+      : cfg_(std::move(cfg)),
+        policy_(std::move(policy)),
+        grid_(vmpi::Grid2d::make(cfg_.p, 1)),
+        vc_(cfg_.p, cfg_.machine),
+        integrator_(std::make_unique<particles::VelocityVerlet>()) {
+    CANB_REQUIRE(static_cast<int>(blocks.size()) == cfg_.p, "need one block per rank");
+    resident_ = std::move(blocks);
+    carried_.resize(static_cast<std::size_t>(cfg_.p));
+  }
+
+  void set_integrator(std::unique_ptr<particles::Integrator> integ) {
+    integrator_ = std::move(integ);
+  }
+
+  void step() {
+    if constexpr (!Policy::kIsPhantom) {
+      for (auto& b : resident_) policy_.pre_force(*integrator_, b);
+    }
+    for (int r = 0; r < cfg_.p; ++r) {
+      auto& c = carried_[static_cast<std::size_t>(r)];
+      c.buf = resident_[static_cast<std::size_t>(r)];
+      c.home = r;
+    }
+    // Interact with the local block first, then pass p-1 times.
+    interact_all();
+    for (int j = 1; j < cfg_.p; ++j) {
+      vmpi::shift_rows(vc_, grid_, 1, carried_, &ParticleDecompositionRing::carried_bytes);
+      interact_all();
+    }
+    finish_step();
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  std::vector<Buffer> team_results() const { return resident_; }
+
+ private:
+  struct Carried {
+    Buffer buf{};
+    int home = -1;
+  };
+  static std::uint64_t carried_bytes(const Carried& c) noexcept { return Policy::bytes(c.buf); }
+
+  void interact_all() {
+    for (int r = 0; r < cfg_.p; ++r) {
+      auto& carried = carried_[static_cast<std::size_t>(r)];
+      const auto stats = policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf,
+                                          carried.home == r);
+      vc_.charge_interactions(r, static_cast<double>(stats.examined));
+    }
+  }
+
+  void finish_step() {
+    for (int r = 0; r < cfg_.p; ++r) {
+      auto& block = resident_[static_cast<std::size_t>(r)];
+      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      vc_.advance(r, vmpi::Phase::Compute,
+                  cfg_.machine.gamma_flop * core::kIntegrateFlopsPerParticle *
+                      static_cast<double>(Policy::count(block)));
+    }
+  }
+
+  Config cfg_;
+  Policy policy_;
+  vmpi::Grid2d grid_;
+  vmpi::VirtualComm vc_;
+  std::unique_ptr<particles::Integrator> integrator_;
+  std::vector<Buffer> resident_;
+  std::vector<Carried> carried_;
+};
+
+template <class Policy>
+class ParticleDecompositionAllGather {
+ public:
+  using Buffer = typename Policy::Buffer;
+
+  struct Config {
+    int p = 1;
+    machine::MachineModel machine;
+  };
+
+  ParticleDecompositionAllGather(Config cfg, Policy policy, std::vector<Buffer> blocks)
+      : cfg_(std::move(cfg)),
+        policy_(std::move(policy)),
+        vc_(cfg_.p, cfg_.machine),
+        integrator_(std::make_unique<particles::VelocityVerlet>()) {
+    CANB_REQUIRE(static_cast<int>(blocks.size()) == cfg_.p, "need one block per rank");
+    resident_ = std::move(blocks);
+  }
+
+  void set_integrator(std::unique_ptr<particles::Integrator> integ) {
+    integrator_ = std::move(integ);
+  }
+
+  void step() {
+    if constexpr (!Policy::kIsPhantom) {
+      for (auto& b : resident_) policy_.pre_force(*integrator_, b);
+    }
+    // All-gather: every rank receives the full particle set. Cost is one
+    // whole-machine collective of the total volume.
+    std::uint64_t total = 0;
+    for (const auto& b : resident_) total += Policy::bytes(b);
+    vc_.whole_machine_collective(vmpi::Phase::Broadcast, static_cast<double>(total),
+                                 /*is_reduce=*/false);
+    if constexpr (!Policy::kIsPhantom) {
+      Buffer all;
+      for (const auto& b : resident_) all.insert(all.end(), b.begin(), b.end());
+      for (int r = 0; r < cfg_.p; ++r) {
+        auto& mine = resident_[static_cast<std::size_t>(r)];
+        const auto stats = policy_.interact(mine, all, /*same_block=*/false);
+        // `all` includes this rank's own particles; the policy's id check
+        // already skips self-pairs, and its examined count reflects that.
+        vc_.charge_interactions(r, static_cast<double>(stats.examined));
+      }
+    } else {
+      std::uint64_t n_total = 0;
+      for (const auto& b : resident_) n_total += Policy::count(b);
+      for (int r = 0; r < cfg_.p; ++r) {
+        const auto mine = Policy::count(resident_[static_cast<std::size_t>(r)]);
+        vc_.charge_interactions(r, static_cast<double>(mine * n_total - mine));
+      }
+    }
+    for (int r = 0; r < cfg_.p; ++r) {
+      auto& block = resident_[static_cast<std::size_t>(r)];
+      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      vc_.advance(r, vmpi::Phase::Compute,
+                  cfg_.machine.gamma_flop * core::kIntegrateFlopsPerParticle *
+                      static_cast<double>(Policy::count(block)));
+    }
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  std::vector<Buffer> team_results() const { return resident_; }
+
+ private:
+  Config cfg_;
+  Policy policy_;
+  vmpi::VirtualComm vc_;
+  std::unique_ptr<particles::Integrator> integrator_;
+  std::vector<Buffer> resident_;
+};
+
+}  // namespace canb::decomp

@@ -1,0 +1,75 @@
+#include "decomp/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::decomp {
+
+using particles::Block;
+using particles::Box;
+using particles::Particle;
+
+std::vector<Block> split_even(const Block& all, int q) {
+  CANB_REQUIRE(q >= 1, "split_even needs q >= 1");
+  std::vector<Block> out(static_cast<std::size_t>(q));
+  const std::size_t n = all.size();
+  const std::size_t base = n / static_cast<std::size_t>(q);
+  const std::size_t extra = n % static_cast<std::size_t>(q);
+  std::size_t pos = 0;
+  for (int t = 0; t < q; ++t) {
+    const std::size_t len = base + (static_cast<std::size_t>(t) < extra ? 1 : 0);
+    out[static_cast<std::size_t>(t)].assign(all.begin() + static_cast<std::ptrdiff_t>(pos),
+                                            all.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return out;
+}
+
+int team_of_1d(const Particle& p, const Box& box, int q) {
+  int t = static_cast<int>(static_cast<double>(p.px) / box.lx * q);
+  return std::clamp(t, 0, q - 1);
+}
+
+int team_of_2d(const Particle& p, const Box& box, int qx, int qy) {
+  int tx = static_cast<int>(static_cast<double>(p.px) / box.lx * qx);
+  int ty = static_cast<int>(static_cast<double>(p.py) / box.ly * qy);
+  tx = std::clamp(tx, 0, qx - 1);
+  ty = std::clamp(ty, 0, qy - 1);
+  return ty * qx + tx;
+}
+
+std::vector<Block> split_spatial_1d(const Block& all, const Box& box, int q) {
+  CANB_REQUIRE(q >= 1, "split_spatial_1d needs q >= 1");
+  std::vector<Block> out(static_cast<std::size_t>(q));
+  for (const auto& p : all) out[static_cast<std::size_t>(team_of_1d(p, box, q))].push_back(p);
+  return out;
+}
+
+std::vector<Block> split_spatial_2d(const Block& all, const Box& box, int qx, int qy) {
+  CANB_REQUIRE(qx >= 1 && qy >= 1, "split_spatial_2d needs qx, qy >= 1");
+  CANB_REQUIRE(box.dims == 2, "2D split needs a 2D box");
+  std::vector<Block> out(static_cast<std::size_t>(qx) * static_cast<std::size_t>(qy));
+  for (const auto& p : all)
+    out[static_cast<std::size_t>(team_of_2d(p, box, qx, qy))].push_back(p);
+  return out;
+}
+
+Block concat(const std::vector<Block>& blocks) {
+  Block out;
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  out.reserve(total);
+  for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+std::vector<std::uint64_t> block_counts(const std::vector<Block>& blocks) {
+  std::vector<std::uint64_t> out;
+  out.reserve(blocks.size());
+  for (const auto& b : blocks) out.push_back(b.size());
+  return out;
+}
+
+}  // namespace canb::decomp

@@ -1,0 +1,38 @@
+// Partitioning particles among teams.
+//
+// All-pairs decompositions split by count (any assignment is valid);
+// cutoff decompositions split spatially so a team owns a contiguous region.
+#pragma once
+
+#include <vector>
+
+#include "particles/box.hpp"
+#include "particles/particle.hpp"
+
+namespace canb::decomp {
+
+/// Splits `all` into q blocks of size n/q (remainder spread over the first
+/// blocks), preserving order.
+std::vector<particles::Block> split_even(const particles::Block& all, int q);
+
+/// Spatial 1D split along x into q equal-width segments of the box.
+std::vector<particles::Block> split_spatial_1d(const particles::Block& all,
+                                               const particles::Box& box, int q);
+
+/// Spatial 2D split into qx-by-qy cells (col-major team index t = ty*qx+tx).
+std::vector<particles::Block> split_spatial_2d(const particles::Block& all,
+                                               const particles::Box& box, int qx, int qy);
+
+/// Team that owns the position of `p` under the 1D split.
+int team_of_1d(const particles::Particle& p, const particles::Box& box, int q);
+
+/// Team that owns the position of `p` under the 2D split.
+int team_of_2d(const particles::Particle& p, const particles::Box& box, int qx, int qy);
+
+/// Concatenates blocks back into one vector (order = block order).
+particles::Block concat(const std::vector<particles::Block>& blocks);
+
+/// Per-block particle counts (phantom initialization from a real histogram).
+std::vector<std::uint64_t> block_counts(const std::vector<particles::Block>& blocks);
+
+}  // namespace canb::decomp

@@ -1,0 +1,116 @@
+#include "machine/collective_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::machine {
+
+namespace {
+
+double log2_ceil_rounds(int members) {
+  if (members <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(members)));
+}
+
+class IdealLogTree final : public CollectiveModel {
+ public:
+  IdealLogTree(double alpha_c, double beta_c) : alpha_(alpha_c), beta_(beta_c) {}
+
+  double broadcast_time(const CollectiveContext& ctx) const override {
+    return log2_ceil_rounds(ctx.members) * (alpha_ + beta_ * ctx.bytes);
+  }
+  double reduce_time(const CollectiveContext& ctx) const override {
+    return broadcast_time(ctx);  // same tree, reversed edges
+  }
+  std::string name() const override { return "ideal-log-tree"; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+class SaturatingTree final : public CollectiveModel {
+ public:
+  SaturatingTree(double alpha_c, double beta_c, double contention, int p_ref)
+      : alpha_(alpha_c), beta_(beta_c), contention_(contention), p_ref_(p_ref) {
+    CANB_REQUIRE(p_ref >= 1, "saturating tree p_ref must be >= 1");
+  }
+
+  double broadcast_time(const CollectiveContext& ctx) const override {
+    const double tree = log2_ceil_rounds(ctx.members) * (alpha_ + beta_ * ctx.bytes);
+    // Contention term: at large machine scale, thousands of simultaneous
+    // team collectives share the torus; the effective extra cost grows
+    // linearly with team size and quadratically with machine size. The
+    // quadratic scale factor is a calibration choice documented in
+    // EXPERIMENTS.md: it makes 6K-core runs behave near-ideally (Fig. 2a)
+    // while 24K-core runs saturate (Fig. 2b), as observed on Hopper.
+    const double scale = static_cast<double>(ctx.p_total) / static_cast<double>(p_ref_);
+    const double extra = contention_ * scale * scale *
+                         static_cast<double>(std::max(0, ctx.members - 1)) *
+                         (alpha_ + beta_ * ctx.bytes);
+    return tree + extra;
+  }
+  double reduce_time(const CollectiveContext& ctx) const override {
+    return broadcast_time(ctx);
+  }
+  std::string name() const override { return "saturating-tree"; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double contention_;
+  int p_ref_;
+};
+
+class HardwareTree final : public CollectiveModel {
+ public:
+  HardwareTree(double alpha_tree, double beta_tree,
+               std::shared_ptr<const CollectiveModel> fallback)
+      : alpha_(alpha_tree), beta_(beta_tree), fallback_(std::move(fallback)) {
+    CANB_REQUIRE(fallback_ != nullptr, "hardware tree needs a fallback model");
+  }
+
+  double broadcast_time(const CollectiveContext& ctx) const override {
+    if (!ctx.whole_partition) return fallback_->broadcast_time(ctx);
+    // The dedicated network is pipelined: latency is nearly independent of
+    // partition size; bandwidth is the tree link bandwidth.
+    return alpha_ + beta_ * ctx.bytes;
+  }
+  double reduce_time(const CollectiveContext& ctx) const override {
+    if (!ctx.whole_partition) return fallback_->reduce_time(ctx);
+    return alpha_ + beta_ * ctx.bytes;
+  }
+  long long critical_messages(int members) const override {
+    return fallback_->critical_messages(members);
+  }
+  std::string name() const override { return "hardware-tree"; }
+
+ private:
+  double alpha_;
+  double beta_;
+  std::shared_ptr<const CollectiveModel> fallback_;
+};
+
+}  // namespace
+
+long long CollectiveModel::critical_messages(int members) const {
+  return members <= 1 ? 0 : static_cast<long long>(log2_ceil_rounds(members));
+}
+
+std::shared_ptr<const CollectiveModel> make_ideal_log_tree(double alpha_c, double beta_c) {
+  return std::make_shared<IdealLogTree>(alpha_c, beta_c);
+}
+
+std::shared_ptr<const CollectiveModel> make_saturating_tree(double alpha_c, double beta_c,
+                                                            double contention, int p_ref) {
+  return std::make_shared<SaturatingTree>(alpha_c, beta_c, contention, p_ref);
+}
+
+std::shared_ptr<const CollectiveModel> make_hardware_tree(
+    double alpha_tree, double beta_tree, std::shared_ptr<const CollectiveModel> fallback) {
+  return std::make_shared<HardwareTree>(alpha_tree, beta_tree, std::move(fallback));
+}
+
+}  // namespace canb::machine

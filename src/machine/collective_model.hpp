@@ -1,0 +1,59 @@
+// Collective-communication cost models.
+//
+// The paper's model assumes collectives complete in log(c) rounds
+// (Section III-B), but its experiments show that "collectives fail to scale
+// logarithmically as our model assumes, so c should be treated as a tuning
+// parameter" (Section I, III-C1). We capture both regimes:
+//
+//  * IdealLogTree      — log2(c) rounds of (alpha_c + beta_c * w); the
+//                        textbook model used in the paper's analysis.
+//  * SaturatingTree    — log-tree cost plus a contention term that grows
+//                        linearly in team size and quadratically in total
+//                        machine size. This is what makes intermediate c
+//                        optimal at scale (Fig. 2b/2d, Fig. 6).
+//  * HardwareTree      — BlueGene/P-style dedicated collective network:
+//                        near-flat latency, but only for collectives that
+//                        span the whole partition (the "tree" bars in
+//                        Fig. 2c/2d).
+//
+// All times are seconds; w is the payload in bytes; c is the number of
+// participating ranks; p_total is the whole machine size (for contention).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace canb::machine {
+
+struct CollectiveContext {
+  int members = 1;          ///< ranks participating in the collective
+  double bytes = 0.0;       ///< payload per rank
+  int p_total = 1;          ///< total ranks on the machine (contention scale)
+  bool whole_partition = false;  ///< collective spans the entire partition
+};
+
+class CollectiveModel {
+ public:
+  virtual ~CollectiveModel() = default;
+
+  /// Time for one broadcast with the given context.
+  virtual double broadcast_time(const CollectiveContext& ctx) const = 0;
+  /// Time for one reduction (same tree shape; reductions also pay the
+  /// combine flops, charged by the caller as computation).
+  virtual double reduce_time(const CollectiveContext& ctx) const = 0;
+
+  /// Messages charged to the critical path (the paper charges log2(c)).
+  virtual long long critical_messages(int members) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// Factory helpers; models are immutable and shareable.
+std::shared_ptr<const CollectiveModel> make_ideal_log_tree(double alpha_c, double beta_c);
+std::shared_ptr<const CollectiveModel> make_saturating_tree(double alpha_c, double beta_c,
+                                                            double contention,  // delta0
+                                                            int p_ref);
+std::shared_ptr<const CollectiveModel> make_hardware_tree(double alpha_tree, double beta_tree,
+                                                          std::shared_ptr<const CollectiveModel> fallback);
+
+}  // namespace canb::machine

@@ -1,0 +1,17 @@
+#include "machine/machine_model.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb::machine {
+
+void MachineModel::validate() const {
+  CANB_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
+  CANB_REQUIRE(beta >= 0.0, "beta must be non-negative");
+  CANB_REQUIRE(alpha_hop >= 0.0, "alpha_hop must be non-negative");
+  CANB_REQUIRE(gamma >= 0.0, "gamma must be non-negative");
+  CANB_REQUIRE(gamma_flop >= 0.0, "gamma_flop must be non-negative");
+  CANB_REQUIRE(shift_beta_factor > 0.0, "shift_beta_factor must be positive");
+  CANB_REQUIRE(collectives != nullptr, "machine model needs a collective model");
+}
+
+}  // namespace canb::machine

@@ -1,0 +1,68 @@
+// The machine model: an alpha-beta-gamma cost model plus a collective model
+// and a topology. All algorithm timing in this library is *virtual time*
+// charged through a MachineModel, which is what lets a laptop reproduce the
+// communication behaviour of a 32K-core torus (see DESIGN.md §1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "machine/collective_model.hpp"
+#include "machine/topology.hpp"
+
+namespace canb::machine {
+
+struct MachineModel {
+  std::string name = "generic";
+
+  // --- point-to-point costs -------------------------------------------
+  double alpha = 1e-6;   ///< per-message latency (s)
+  double beta = 1e-9;    ///< per-byte transfer time (s/B)
+  double alpha_hop = 0;  ///< extra latency per network hop (s); 0 = hop-free
+
+  // --- computation -----------------------------------------------------
+  double gamma = 5e-8;       ///< seconds per pairwise force interaction
+  double gamma_flop = 1e-9;  ///< seconds per generic flop (integration, reduce combine)
+
+  // --- shifting refinements (Section III-C) ----------------------------
+  /// Multiplier on shift bandwidth cost. 0.5 models replacing point-to-point
+  /// shifts with topology-aware broadcasts that exploit torus
+  /// bidirectionality (the DCMF optimization on Intrepid).
+  double shift_beta_factor = 1.0;
+
+  // --- collectives ------------------------------------------------------
+  std::shared_ptr<const CollectiveModel> collectives;
+
+  // --- interconnect ----------------------------------------------------
+  /// Topology used for hop-aware latency. Optional; most experiments use
+  /// the pure alpha-beta model (alpha_hop == 0).
+  std::shared_ptr<const Topology> topology;
+
+  // ----------------------------------------------------------------------
+  /// Time to send one point-to-point message of `bytes` across `hops` hops.
+  double p2p_time(double bytes, int hops = 1) const {
+    return alpha + alpha_hop * static_cast<double>(hops) + beta * bytes;
+  }
+
+  /// Shift-phase variant of p2p_time (may exploit bidirectional links).
+  double shift_time(double bytes, int hops = 1) const {
+    return alpha + alpha_hop * static_cast<double>(hops) + shift_beta_factor * beta * bytes;
+  }
+
+  double compute_time(double interactions) const { return gamma * interactions; }
+
+  double broadcast_time(const CollectiveContext& ctx) const {
+    return collectives ? collectives->broadcast_time(ctx) : 0.0;
+  }
+  double reduce_time(const CollectiveContext& ctx) const {
+    return collectives ? collectives->reduce_time(ctx) : 0.0;
+  }
+  long long collective_messages(int members) const {
+    return collectives ? collectives->critical_messages(members) : 0;
+  }
+
+  /// Validation: throws PreconditionError on nonsensical constants.
+  void validate() const;
+};
+
+}  // namespace canb::machine

@@ -1,0 +1,64 @@
+#include "machine/presets.hpp"
+
+namespace canb::machine {
+
+MachineModel hopper() {
+  MachineModel m;
+  m.name = "hopper";
+  m.alpha = 8e-6;
+  m.beta = 1.7e-10;
+  m.alpha_hop = 0.0;
+  m.gamma = 5e-8;
+  m.gamma_flop = 5e-10;
+  m.shift_beta_factor = 1.0;
+  m.collectives = make_saturating_tree(/*alpha_c=*/8e-6, /*beta_c=*/1.7e-10,
+                                       /*contention=*/0.012, /*p_ref=*/1024);
+  m.topology = std::make_shared<Topology>(Topology::balanced_torus3d(24576));
+  return m;
+}
+
+MachineModel intrepid(bool use_hw_tree, bool torus_bcast_shifts) {
+  MachineModel m;
+  m.name = use_hw_tree ? "intrepid(tree)" : "intrepid";
+  m.alpha = 2.5e-5;
+  m.beta = 2.4e-9;
+  m.alpha_hop = 0.0;
+  m.gamma = 1.5e-7;
+  m.gamma_flop = 2e-9;
+  // Section III-C: "replacing P/c^2 point-to-point shifts within the rows
+  // with P/c^2 broadcasts across the rows improved performance because the
+  // bidirectionality of the torus provides twice the bandwidth".
+  m.shift_beta_factor = torus_bcast_shifts ? 0.5 : 1.0;
+  auto torus_colls = make_saturating_tree(/*alpha_c=*/2.5e-5, /*beta_c=*/2.4e-9,
+                                          /*contention=*/0.005, /*p_ref=*/1024);
+  if (use_hw_tree) {
+    // The dedicated network serializes whole-partition payloads at a modest
+    // effective bandwidth but with near-flat latency; calibrated so that the
+    // c=1 "tree" allgather bar in Fig. 2c lands near 0.06 s.
+    m.collectives = make_hardware_tree(/*alpha_tree=*/5e-6, /*beta_tree=*/3.5e-8, torus_colls);
+  } else {
+    m.collectives = torus_colls;
+  }
+  m.topology = std::make_shared<Topology>(Topology::balanced_torus3d(32768));
+  return m;
+}
+
+MachineModel laptop() {
+  MachineModel m;
+  m.name = "laptop";
+  m.alpha = 5e-7;
+  m.beta = 1e-10;
+  m.gamma = 5e-9;
+  m.gamma_flop = 2e-10;
+  m.collectives = make_ideal_log_tree(5e-7, 1e-10);
+  m.topology = std::make_shared<Topology>(Topology::fully_connected(64));
+  return m;
+}
+
+MachineModel with_ideal_collectives(MachineModel m) {
+  m.name += "(ideal-coll)";
+  m.collectives = make_ideal_log_tree(m.alpha, m.beta);
+  return m;
+}
+
+}  // namespace canb::machine

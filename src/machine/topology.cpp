@@ -1,0 +1,126 @@
+#include "machine/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace canb::machine {
+
+Topology::Topology(TopologyKind kind, std::array<int, 3> dims) : kind_(kind), dims_(dims) {
+  size_ = dims_[0] * dims_[1] * dims_[2];
+  CANB_REQUIRE(size_ >= 1, "topology must contain at least one rank");
+}
+
+Topology Topology::fully_connected(int p) {
+  CANB_REQUIRE(p >= 1, "fully_connected needs p >= 1");
+  return Topology(TopologyKind::FullyConnected, {p, 1, 1});
+}
+
+Topology Topology::ring(int p) {
+  CANB_REQUIRE(p >= 1, "ring needs p >= 1");
+  return Topology(TopologyKind::Ring, {p, 1, 1});
+}
+
+Topology Topology::torus2d(int nx, int ny) {
+  CANB_REQUIRE(nx >= 1 && ny >= 1, "torus2d dims must be >= 1");
+  return Topology(TopologyKind::Torus2D, {nx, ny, 1});
+}
+
+Topology Topology::torus3d(int nx, int ny, int nz) {
+  CANB_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "torus3d dims must be >= 1");
+  return Topology(TopologyKind::Torus3D, {nx, ny, nz});
+}
+
+Topology Topology::balanced_torus3d(int p) {
+  CANB_REQUIRE(p >= 1, "balanced_torus3d needs p >= 1");
+  // Greedy near-cubic factorization: pick the largest factor <= cbrt, then
+  // the largest factor of the remainder <= sqrt.
+  int nx = 1;
+  const int croot = static_cast<int>(std::cbrt(static_cast<double>(p)) + 0.5);
+  for (int f = std::max(1, croot); f >= 1; --f) {
+    if (p % f == 0) {
+      nx = f;
+      break;
+    }
+  }
+  const int rem = p / nx;
+  int ny = 1;
+  const int sroot = static_cast<int>(std::sqrt(static_cast<double>(rem)) + 0.5);
+  for (int f = std::max(1, sroot); f >= 1; --f) {
+    if (rem % f == 0) {
+      ny = f;
+      break;
+    }
+  }
+  return torus3d(nx, ny, rem / ny);
+}
+
+std::array<int, 3> Topology::coords(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < size_);
+  return {rank % dims_[0], (rank / dims_[0]) % dims_[1], rank / (dims_[0] * dims_[1])};
+}
+
+int Topology::hops(int from, int to) const {
+  CANB_REQUIRE(from >= 0 && from < size_ && to >= 0 && to < size_, "rank out of range");
+  if (from == to) return 0;
+  switch (kind_) {
+    case TopologyKind::FullyConnected:
+      return 1;
+    case TopologyKind::Ring: {
+      const int d = std::abs(from - to);
+      return std::min(d, size_ - d);
+    }
+    case TopologyKind::Torus2D:
+    case TopologyKind::Torus3D: {
+      const auto a = coords(from);
+      const auto b = coords(to);
+      int total = 0;
+      for (int i = 0; i < 3; ++i) {
+        const int d = std::abs(a[i] - b[i]);
+        total += std::min(d, dims_[i] - d);
+      }
+      return total;
+    }
+  }
+  CANB_ASSERT_MSG(false, "unreachable topology kind");
+  return 0;
+}
+
+int Topology::diameter() const {
+  switch (kind_) {
+    case TopologyKind::FullyConnected:
+      return size_ > 1 ? 1 : 0;
+    case TopologyKind::Ring:
+      return size_ / 2;
+    case TopologyKind::Torus2D:
+    case TopologyKind::Torus3D: {
+      int total = 0;
+      for (int i = 0; i < 3; ++i) total += dims_[i] / 2;
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case TopologyKind::FullyConnected:
+      os << "fully-connected(" << size_ << ")";
+      break;
+    case TopologyKind::Ring:
+      os << "ring(" << size_ << ")";
+      break;
+    case TopologyKind::Torus2D:
+      os << "torus2d(" << dims_[0] << "x" << dims_[1] << ")";
+      break;
+    case TopologyKind::Torus3D:
+      os << "torus3d(" << dims_[0] << "x" << dims_[1] << "x" << dims_[2] << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace canb::machine

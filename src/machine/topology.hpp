@@ -1,0 +1,50 @@
+// Interconnect topology: hop distances for rings, meshes, and tori.
+//
+// The cost model is primarily alpha-beta (per-message + per-byte); hop
+// distance enters as an optional per-hop latency term so that long skew
+// shifts cost slightly more than neighbor shifts, as on a real torus.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace canb::machine {
+
+enum class TopologyKind { FullyConnected, Ring, Torus2D, Torus3D };
+
+/// Immutable topology descriptor over `size()` ranks mapped in row-major
+/// order onto the torus dimensions.
+class Topology {
+ public:
+  /// Fully connected (hop distance 1 between distinct ranks).
+  static Topology fully_connected(int p);
+  static Topology ring(int p);
+  static Topology torus2d(int nx, int ny);
+  static Topology torus3d(int nx, int ny, int nz);
+
+  /// Chooses a near-cubic 3D torus for p ranks (factors p greedily).
+  static Topology balanced_torus3d(int p);
+
+  TopologyKind kind() const noexcept { return kind_; }
+  int size() const noexcept { return size_; }
+  const std::array<int, 3>& dims() const noexcept { return dims_; }
+
+  /// Minimal hop count between two ranks (torus wrap-around included).
+  int hops(int from, int to) const;
+
+  /// Network diameter (max hops over any pair).
+  int diameter() const;
+
+  std::string describe() const;
+
+ private:
+  Topology(TopologyKind kind, std::array<int, 3> dims);
+  std::array<int, 3> coords(int rank) const;
+
+  TopologyKind kind_;
+  std::array<int, 3> dims_;
+  int size_;
+};
+
+}  // namespace canb::machine

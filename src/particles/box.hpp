@@ -1,0 +1,42 @@
+// Simulation domains and boundary conditions.
+//
+// A Box is 1- or 2-dimensional (the paper evaluates cutoff simulations in
+// both); 1D simulations place particles on a segment of length lx and ignore
+// the y coordinate throughout.
+#pragma once
+
+#include <utility>
+
+#include "particles/particle.hpp"
+
+namespace canb::particles {
+
+enum class Boundary { Reflective, Periodic };
+
+struct Box {
+  double lx = 1.0;
+  double ly = 1.0;
+  int dims = 2;  ///< 1 or 2
+  Boundary boundary = Boundary::Reflective;
+
+  static Box reflective_2d(double l) { return {l, l, 2, Boundary::Reflective}; }
+  static Box periodic_2d(double l) { return {l, l, 2, Boundary::Periodic}; }
+  static Box reflective_1d(double l) { return {l, 0.0, 1, Boundary::Reflective}; }
+  static Box periodic_1d(double l) { return {l, 0.0, 1, Boundary::Periodic}; }
+
+  void validate() const;
+};
+
+/// Displacement from b to a (i.e. a.pos - b.pos), honoring minimum-image
+/// convention under periodic boundaries and the box dimensionality.
+/// Returns {dx, dy}; dy == 0 in 1D.
+std::pair<double, double> pair_delta(const Particle& a, const Particle& b, const Box& box) noexcept;
+
+/// Clamps a particle back into the box after integration. Reflective walls
+/// flip position and velocity; periodic wraps coordinates.
+void apply_boundary(Particle& p, const Box& box) noexcept;
+
+/// True iff the particle's position lies within the box (used in tests).
+bool inside(const Particle& p, const Box& box) noexcept;
+
+}  // namespace canb::particles

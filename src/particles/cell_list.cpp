@@ -1,0 +1,42 @@
+#include "particles/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::particles {
+
+CellList::CellList(const Box& box, double cutoff) : box_(box), cutoff_(cutoff) {
+  box.validate();
+  CANB_REQUIRE(cutoff > 0.0, "cell list cutoff must be positive");
+  periodic_ = box.boundary == Boundary::Periodic;
+  nx_ = std::max(1, static_cast<int>(std::floor(box.lx / cutoff)));
+  ny_ = box.dims == 2 ? std::max(1, static_cast<int>(std::floor(box.ly / cutoff))) : 1;
+  // With fewer than 3 bins along a periodic axis, the 3x3 neighborhood would
+  // visit the same bin twice; collapse to a single bin in that case.
+  if (periodic_ && nx_ < 3) nx_ = 1;
+  if (periodic_ && ny_ < 3 && box.dims == 2) ny_ = 1;
+  bins_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+}
+
+std::pair<int, int> CellList::bin_of(const Particle& p) const noexcept {
+  int cx = static_cast<int>(static_cast<double>(p.px) / box_.lx * nx_);
+  cx = std::clamp(cx, 0, nx_ - 1);
+  int cy = 0;
+  if (box_.dims == 2) {
+    cy = static_cast<int>(static_cast<double>(p.py) / box_.ly * ny_);
+    cy = std::clamp(cy, 0, ny_ - 1);
+  }
+  return {cx, cy};
+}
+
+void CellList::build(std::span<const Particle> ps) {
+  for (auto& b : bins_) b.clear();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto [cx, cy] = bin_of(ps[i]);
+    bin(cx, cy).push_back(static_cast<int>(i));
+  }
+}
+
+}  // namespace canb::particles

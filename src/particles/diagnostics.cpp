@@ -1,0 +1,94 @@
+#include "particles/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::particles {
+
+double kinetic_energy(std::span<const Particle> ps) noexcept {
+  double ke = 0.0;
+  for (const auto& p : ps) {
+    const double v2 = static_cast<double>(p.vx) * p.vx + static_cast<double>(p.vy) * p.vy;
+    ke += 0.5 * static_cast<double>(p.mass) * v2;
+  }
+  return ke;
+}
+
+SystemState quick_state(std::span<const Particle> ps) noexcept {
+  SystemState st;
+  double m_total = 0.0;
+  for (const auto& p : ps) {
+    const double m = p.mass;
+    st.momentum_x += m * static_cast<double>(p.vx);
+    st.momentum_y += m * static_cast<double>(p.vy);
+    st.com_x += m * static_cast<double>(p.px);
+    st.com_y += m * static_cast<double>(p.py);
+    m_total += m;
+  }
+  if (m_total > 0.0) {
+    st.com_x /= m_total;
+    st.com_y /= m_total;
+  }
+  st.kinetic = kinetic_energy(ps);
+  return st;
+}
+
+double max_force_deviation(std::span<const Particle> a, std::span<const Particle> b,
+                           double abs_floor) {
+  CANB_REQUIRE(a.size() == b.size(), "blocks must have equal size");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    CANB_REQUIRE(a[i].id == b[i].id, "blocks must be id-aligned (sort_by_id first)");
+    const double dfx = static_cast<double>(a[i].fx) - static_cast<double>(b[i].fx);
+    const double dfy = static_cast<double>(a[i].fy) - static_cast<double>(b[i].fy);
+    const double ref = std::hypot(static_cast<double>(b[i].fx), static_cast<double>(b[i].fy));
+    worst = std::max(worst, std::hypot(dfx, dfy) / (ref + abs_floor));
+  }
+  return worst;
+}
+
+double max_position_deviation(std::span<const Particle> a, std::span<const Particle> b) {
+  CANB_REQUIRE(a.size() == b.size(), "blocks must have equal size");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    CANB_REQUIRE(a[i].id == b[i].id, "blocks must be id-aligned (sort_by_id first)");
+    const double dx = static_cast<double>(a[i].px) - static_cast<double>(b[i].px);
+    const double dy = static_cast<double>(a[i].py) - static_cast<double>(b[i].py);
+    worst = std::max(worst, std::hypot(dx, dy));
+  }
+  return worst;
+}
+
+std::vector<double> radial_distribution(std::span<const Particle> ps, const Box& box,
+                                        double r_max, int bins) {
+  CANB_REQUIRE(r_max > 0.0 && bins >= 1, "radial_distribution needs r_max > 0 and bins >= 1");
+  std::vector<double> hist(static_cast<std::size_t>(bins), 0.0);
+  const std::size_t n = ps.size();
+  if (n < 2) return hist;
+  const double dr = r_max / bins;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto [dx, dy] = pair_delta(ps[i], ps[j], box);
+      const double r = std::hypot(dx, dy);
+      if (r >= r_max) continue;
+      hist[static_cast<std::size_t>(r / dr)] += 2.0;  // ordered pairs
+    }
+  }
+  // Normalize by the ideal-gas expectation: density * annulus area * n.
+  const double area = box.dims == 2 ? box.lx * box.ly : box.lx;
+  const double density = static_cast<double>(n) / area;
+  constexpr double kPi = 3.14159265358979323846;
+  for (int b = 0; b < bins; ++b) {
+    const double r_lo = b * dr;
+    const double r_hi = r_lo + dr;
+    const double shell =
+        box.dims == 2 ? kPi * (r_hi * r_hi - r_lo * r_lo) : 2.0 * dr;  // 1D: two segments
+    const double expected = density * shell * static_cast<double>(n);
+    hist[static_cast<std::size_t>(b)] = expected > 0 ? hist[static_cast<std::size_t>(b)] / expected : 0.0;
+  }
+  return hist;
+}
+
+}  // namespace canb::particles

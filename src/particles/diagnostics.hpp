@@ -1,0 +1,63 @@
+// Physical diagnostics used by examples and conservation tests.
+#pragma once
+
+#include <span>
+
+#include "particles/box.hpp"
+#include "particles/kernels.hpp"
+#include "particles/particle.hpp"
+
+namespace canb::particles {
+
+struct SystemState {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  double momentum_x = 0.0;
+  double momentum_y = 0.0;
+  double com_x = 0.0;
+  double com_y = 0.0;
+  double total() const noexcept { return kinetic + potential; }
+};
+
+double kinetic_energy(std::span<const Particle> ps) noexcept;
+
+/// Momentum and center of mass (no potential; O(n)).
+SystemState quick_state(std::span<const Particle> ps) noexcept;
+
+/// Full state including the O(n^2) pairwise potential (pairs counted once).
+template <ForceKernel K>
+SystemState full_state(std::span<const Particle> ps, const Box& box, const K& kernel,
+                       double cutoff = 0.0) {
+  SystemState st = quick_state(ps);
+  const double cutoff2 = cutoff > 0.0 ? cutoff * cutoff : 0.0;
+  double u = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = i + 1; j < ps.size(); ++j) {
+      const auto [dx, dy] = pair_delta(ps[i], ps[j], box);
+      const double r2 = dx * dx + dy * dy;
+      if (cutoff2 > 0.0 && r2 > cutoff2) continue;
+      u += kernel.potential(r2, ps[i], ps[j]);
+    }
+  }
+  st.potential = u;
+  return st;
+}
+
+/// Max relative force deviation between two blocks with identical ids,
+/// both sorted by id. Returns the max over particles of
+/// |f_a - f_b| / (|f_b| + abs_floor); used to compare decompositions
+/// against the serial reference.
+double max_force_deviation(std::span<const Particle> a, std::span<const Particle> b,
+                           double abs_floor = 1e-6);
+
+/// Max absolute position deviation between two id-sorted blocks.
+double max_position_deviation(std::span<const Particle> a, std::span<const Particle> b);
+
+/// Radial distribution function g(r): normalized pair-distance histogram
+/// over [0, r_max) in `bins` equal-width shells. The classic MD structure
+/// diagnostic — a fluid shows a contact peak then decay to ~1; an ideal
+/// gas is ~1 everywhere. 2D normalization (annulus areas); O(n^2).
+std::vector<double> radial_distribution(std::span<const Particle> ps, const Box& box,
+                                        double r_max, int bins);
+
+}  // namespace canb::particles

@@ -1,0 +1,149 @@
+#include "particles/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace canb::particles {
+
+namespace {
+void finalize(Particle& p, int id) {
+  p.id = id;
+  p.fx = p.fy = 0.0f;
+  p.aux0 = p.aux1 = p.aux2 = p.aux3 = 0.0f;
+  p.mass = 1.0f;
+  p.charge = 1.0f;
+}
+}  // namespace
+
+Block init_uniform(int n, const Box& box, std::uint64_t seed, double speed_scale) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  box.validate();
+  Xoshiro256 rng(seed);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    p.px = static_cast<float>(rng.uniform(0.0, box.lx));
+    p.py = box.dims == 2 ? static_cast<float>(rng.uniform(0.0, box.ly)) : 0.0f;
+    p.vx = static_cast<float>(rng.normal() * speed_scale);
+    p.vy = box.dims == 2 ? static_cast<float>(rng.normal() * speed_scale) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
+Block init_lattice(int n, const Box& box, double jitter, std::uint64_t seed) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  box.validate();
+  Xoshiro256 rng(seed);
+  Block out(static_cast<std::size_t>(n));
+  if (box.dims == 1) {
+    const double dx = box.lx / std::max(1, n);
+    for (int i = 0; i < n; ++i) {
+      auto& p = out[static_cast<std::size_t>(i)];
+      p.px = static_cast<float>((static_cast<double>(i) + 0.5) * dx +
+                                jitter * dx * (rng.uniform() - 0.5));
+      p.py = 0.0f;
+      finalize(p, i);
+    }
+    return out;
+  }
+  const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  const int rows = (n + cols - 1) / cols;
+  const double dx = box.lx / cols;
+  const double dy = box.ly / rows;
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    const int cx = i % cols;
+    const int cy = i / cols;
+    p.px = static_cast<float>((cx + 0.5) * dx + jitter * dx * (rng.uniform() - 0.5));
+    p.py = static_cast<float>((cy + 0.5) * dy + jitter * dy * (rng.uniform() - 0.5));
+    finalize(p, i);
+  }
+  return out;
+}
+
+Block init_clusters(int n, const Box& box, int clusters, double width_fraction,
+                    std::uint64_t seed, double speed_scale) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  CANB_REQUIRE(clusters >= 1, "need at least one cluster");
+  box.validate();
+  Xoshiro256 rng(seed);
+  // Cluster centers first so their placement is independent of n.
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c)
+    centers.emplace_back(rng.uniform(0.2 * box.lx, 0.8 * box.lx),
+                         box.dims == 2 ? rng.uniform(0.2 * box.ly, 0.8 * box.ly) : 0.0);
+  const double wx = width_fraction * box.lx;
+  const double wy = width_fraction * (box.dims == 2 ? box.ly : 0.0);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    const auto& [cx, cy] = centers[static_cast<std::size_t>(i % clusters)];
+    double x = cx + rng.normal() * wx;
+    double y = box.dims == 2 ? cy + rng.normal() * wy : 0.0;
+    x = std::clamp(x, 0.0, box.lx);
+    if (box.dims == 2) y = std::clamp(y, 0.0, box.ly);
+    p.px = static_cast<float>(x);
+    p.py = static_cast<float>(y);
+    p.vx = static_cast<float>(rng.normal() * speed_scale);
+    p.vy = box.dims == 2 ? static_cast<float>(rng.normal() * speed_scale) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
+Block init_gradient(int n, const Box& box, double slope, std::uint64_t seed) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  CANB_REQUIRE(slope >= 0.0 && slope < 2.0, "gradient slope must be in [0, 2)");
+  box.validate();
+  Xoshiro256 rng(seed);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    // Inverse-CDF sampling of f(u) = 1 + slope*(u - 1/2) on [0,1].
+    const double r = rng.uniform();
+    double u = 0.0;
+    if (slope < 1e-12) {
+      u = r;
+    } else {
+      const double a = slope / 2.0;
+      const double b = 1.0 - a;
+      // Solve a u^2 + b u - r = 0 for u in [0,1].
+      u = (-b + std::sqrt(b * b + 4.0 * a * r)) / (2.0 * a);
+    }
+    p.px = static_cast<float>(u * box.lx);
+    p.py = box.dims == 2 ? static_cast<float>(rng.uniform(0.0, box.ly)) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
+Block init_two_stream(int n, const Box& box, double drift, double thermal, std::uint64_t seed) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  box.validate();
+  Xoshiro256 rng(seed);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    p.px = static_cast<float>(rng.uniform(0.0, box.lx));
+    const bool top = box.dims == 2 ? (i % 2 == 0) : (i % 2 == 0);
+    p.py = box.dims == 2
+               ? static_cast<float>(rng.uniform(top ? 0.5 * box.ly : 0.0,
+                                                top ? box.ly : 0.5 * box.ly))
+               : 0.0f;
+    p.vx = static_cast<float>((top ? drift : -drift) + rng.normal() * thermal);
+    p.vy = box.dims == 2 ? static_cast<float>(rng.normal() * thermal) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
+void sort_by_id(Block& b) {
+  std::sort(b.begin(), b.end(), [](const Particle& a, const Particle& c) { return a.id < c.id; });
+}
+
+}  // namespace canb::particles

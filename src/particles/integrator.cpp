@@ -1,0 +1,63 @@
+#include "particles/integrator.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb::particles {
+
+void SymplecticEuler::post_force(std::span<Particle> ps, double dt, const Box& box) const {
+  for (auto& p : ps) {
+    const double inv_m = 1.0 / static_cast<double>(p.mass);
+    p.vx += static_cast<float>(static_cast<double>(p.fx) * inv_m * dt);
+    p.vy += static_cast<float>(static_cast<double>(p.fy) * inv_m * dt);
+    p.px += static_cast<float>(static_cast<double>(p.vx) * dt);
+    p.py += static_cast<float>(static_cast<double>(p.vy) * dt);
+    apply_boundary(p, box);
+  }
+}
+
+void VelocityVerlet::pre_force(std::span<Particle> ps, double dt) const {
+  for (auto& p : ps) {
+    const double inv_m = 1.0 / static_cast<double>(p.mass);
+    // x += v dt + (1/2) a dt^2, using the force from the previous step
+    // (stored in fx/fy at entry on steps > 0; zero on the first step).
+    p.px += static_cast<float>(static_cast<double>(p.vx) * dt +
+                               0.5 * static_cast<double>(p.fx) * inv_m * dt * dt);
+    p.py += static_cast<float>(static_cast<double>(p.vy) * dt +
+                               0.5 * static_cast<double>(p.fy) * inv_m * dt * dt);
+    // Stash the old force for the velocity half-kick in post_force.
+    p.aux0 = p.fx;
+    p.aux1 = p.fy;
+  }
+}
+
+void VelocityVerlet::post_force(std::span<Particle> ps, double dt, const Box& box) const {
+  for (auto& p : ps) {
+    const double inv_m = 1.0 / static_cast<double>(p.mass);
+    p.vx += static_cast<float>(0.5 * (static_cast<double>(p.aux0) + static_cast<double>(p.fx)) *
+                               inv_m * dt);
+    p.vy += static_cast<float>(0.5 * (static_cast<double>(p.aux1) + static_cast<double>(p.fy)) *
+                               inv_m * dt);
+    apply_boundary(p, box);
+  }
+}
+
+void Leapfrog::post_force(std::span<Particle> ps, double dt, const Box& box) const {
+  for (auto& p : ps) {
+    const double inv_m = 1.0 / static_cast<double>(p.mass);
+    p.vx += static_cast<float>(static_cast<double>(p.fx) * inv_m * dt);
+    p.vy += static_cast<float>(static_cast<double>(p.fy) * inv_m * dt);
+    p.px += static_cast<float>(static_cast<double>(p.vx) * dt);
+    p.py += static_cast<float>(static_cast<double>(p.vy) * dt);
+    apply_boundary(p, box);
+  }
+}
+
+std::unique_ptr<Integrator> make_integrator(const std::string& name) {
+  if (name == "symplectic-euler") return std::make_unique<SymplecticEuler>();
+  if (name == "velocity-verlet") return std::make_unique<VelocityVerlet>();
+  if (name == "leapfrog") return std::make_unique<Leapfrog>();
+  CANB_REQUIRE(false, "unknown integrator: " + name);
+  return nullptr;
+}
+
+}  // namespace canb::particles

@@ -1,0 +1,42 @@
+// The particle record.
+//
+// The paper states "the particles are 52 bytes in size" (Section III-C); we
+// match that exactly so byte-level communication volumes are comparable.
+// Layout: 13 four-byte fields, alignment 4, no padding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace canb::particles {
+
+struct Particle {
+  float px = 0.0f, py = 0.0f;  ///< position (py unused in 1D simulations)
+  float vx = 0.0f, vy = 0.0f;  ///< velocity
+  float fx = 0.0f, fy = 0.0f;  ///< force accumulator for the current step
+  float mass = 1.0f;
+  float charge = 1.0f;         ///< kernel coupling strength (repulsion/charge)
+  std::int32_t id = -1;        ///< globally unique; used to skip self-pairs
+  float aux0 = 0.0f, aux1 = 0.0f;  ///< integrator scratch (e.g. previous force)
+  float aux2 = 0.0f, aux3 = 0.0f;  ///< padding to the paper's 52-byte record
+};
+
+static_assert(sizeof(Particle) == 52, "paper specifies 52-byte particles");
+
+inline constexpr std::size_t kParticleBytes = sizeof(Particle);
+
+/// A contiguous block of particles — the unit that travels between ranks.
+using Block = std::vector<Particle>;
+
+/// Total serialized size of a block in bytes.
+inline std::size_t block_bytes(const Block& b) noexcept { return b.size() * kParticleBytes; }
+
+/// Zeroes force accumulators.
+inline void clear_forces(Block& b) noexcept {
+  for (auto& p : b) {
+    p.fx = 0.0f;
+    p.fy = 0.0f;
+  }
+}
+
+}  // namespace canb::particles

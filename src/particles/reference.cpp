@@ -1,0 +1,9 @@
+#include "particles/reference.hpp"
+
+namespace canb::particles {
+
+// SerialReference is header-only (kernel-generic); this translation unit
+// pins the vtable-free template's common instantiation to speed up builds.
+template class SerialReference<InverseSquareRepulsion>;
+
+}  // namespace canb::particles

@@ -1,0 +1,57 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/assert.hpp"
+
+namespace canb::sim {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'A', 'N', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::int64_t step;
+  double time;
+  std::uint64_t count;
+};
+static_assert(sizeof(Header) == 32, "checkpoint header layout is part of the format");
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& cp) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  CANB_REQUIRE(f.good(), "cannot open checkpoint file for writing: " + path);
+  Header h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kVersion;
+  h.step = cp.step;
+  h.time = cp.time;
+  h.count = cp.particles.size();
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  f.write(reinterpret_cast<const char*>(cp.particles.data()),
+          static_cast<std::streamsize>(cp.particles.size() * particles::kParticleBytes));
+  CANB_REQUIRE(f.good(), "checkpoint write failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  CANB_REQUIRE(f.good(), "cannot open checkpoint file: " + path);
+  Header h{};
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  CANB_REQUIRE(f.gcount() == sizeof(h), "checkpoint truncated (header): " + path);
+  CANB_REQUIRE(std::memcmp(h.magic, kMagic, 4) == 0, "not a CANB checkpoint: " + path);
+  CANB_REQUIRE(h.version == kVersion, "unsupported checkpoint version in " + path);
+  Checkpoint cp;
+  cp.step = h.step;
+  cp.time = h.time;
+  cp.particles.resize(h.count);
+  const auto bytes = static_cast<std::streamsize>(h.count * particles::kParticleBytes);
+  f.read(reinterpret_cast<char*>(cp.particles.data()), bytes);
+  CANB_REQUIRE(f.gcount() == bytes, "checkpoint truncated (payload): " + path);
+  return cp;
+}
+
+}  // namespace canb::sim

@@ -1,0 +1,28 @@
+// Binary checkpoint/restart.
+//
+// Format: a fixed little-endian header (magic "CANB", version, step, time,
+// particle count) followed by the raw 52-byte particle records. The record
+// layout is static_asserted, so a checkpoint round-trips bitwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "particles/particle.hpp"
+
+namespace canb::sim {
+
+struct Checkpoint {
+  std::int64_t step = 0;
+  double time = 0.0;
+  particles::Block particles;
+};
+
+/// Writes a checkpoint; throws PreconditionError on I/O failure.
+void save_checkpoint(const std::string& path, const Checkpoint& cp);
+
+/// Reads a checkpoint; throws PreconditionError on missing/corrupt files
+/// (bad magic, version mismatch, truncated payload).
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace canb::sim

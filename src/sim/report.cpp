@@ -1,0 +1,72 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace canb::sim {
+
+RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, int c) {
+  const auto& ledger = vc.ledger();
+  RunReport rep;
+  rep.label = std::move(label);
+  rep.p = vc.size();
+  rep.c = c;
+  rep.steps = steps;
+  const double inv = 1.0 / static_cast<double>(steps);
+  using vmpi::Phase;
+  auto phase_max = [&](Phase ph) {
+    double mx = 0.0;
+    for (int r = 0; r < vc.size(); ++r) mx = std::max(mx, ledger.seconds(r, ph));
+    return mx * inv;
+  };
+  rep.compute = phase_max(Phase::Compute);
+  rep.broadcast = phase_max(Phase::Broadcast);
+  rep.skew = phase_max(Phase::Skew);
+  rep.shift = phase_max(Phase::Shift);
+  rep.reduce = phase_max(Phase::Reduce);
+  rep.reassign = phase_max(Phase::Reassign);
+  rep.other = phase_max(Phase::Other);
+  rep.wall = vc.max_clock() * inv;
+  rep.messages = static_cast<double>(ledger.critical_messages()) * inv;
+  rep.bytes = static_cast<double>(ledger.critical_bytes()) * inv;
+  const auto per_rank = ledger.per_rank_seconds();
+  rep.imbalance = imbalance_factor(per_rank);
+  return rep;
+}
+
+namespace {
+Table make_table(std::span<const RunReport> reports) {
+  Table t({{"label", 16},
+           {"p", 7},
+           {"c", 5},
+           {"total(s)", 11, 5},
+           {"compute", 11, 5},
+           {"bcast", 10, 5},
+           {"skew", 10, 5},
+           {"shift", 11, 5},
+           {"reduce", 11, 5},
+           {"reassign", 10, 5},
+           {"msgs/step", 10, 1},
+           {"KiB/step", 10, 1},
+           {"imbal", 7, 2}});
+  for (const auto& r : reports) {
+    t.add_row({r.label, static_cast<long long>(r.p), static_cast<long long>(r.c), r.total(),
+               r.compute, r.broadcast, r.skew, r.shift, r.reduce, r.reassign, r.messages,
+               r.bytes / 1024.0, r.imbalance});
+  }
+  return t;
+}
+}  // namespace
+
+void print_reports(std::ostream& os, std::span<const RunReport> reports) {
+  make_table(reports).print(os);
+}
+
+void write_reports_csv(const std::string& path, std::span<const RunReport> reports) {
+  make_table(reports).write_csv_file(path);
+}
+
+}  // namespace canb::sim

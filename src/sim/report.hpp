@@ -1,0 +1,62 @@
+// Run reports: the bridge from ledgers to the paper's figures.
+//
+// A RunReport is "one bar" of a paper plot: per-timestep critical-path time
+// broken down by phase, plus message/byte counts for bound checking.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::sim {
+
+struct RunReport {
+  std::string label;
+  int p = 0;
+  int c = 0;
+  int steps = 1;
+
+  // Per-step seconds by phase, each the MAX over ranks of that phase's
+  // time (the convention behind the paper's stacked bars: phases are timed
+  // independently and the slowest rank defines each bar). Their sum can
+  // slightly exceed the true critical-path time `wall` when different
+  // ranks bound different phases.
+  double compute = 0.0;
+  double broadcast = 0.0;
+  double skew = 0.0;
+  double shift = 0.0;
+  double reduce = 0.0;
+  double reassign = 0.0;
+  double other = 0.0;
+
+  // True critical-path time per step: max over ranks of total time.
+  double wall = 0.0;
+
+  // Per-step critical-path message/byte counts (max over ranks).
+  double messages = 0.0;
+  double bytes = 0.0;
+
+  // max/mean of per-rank total time (load imbalance factor).
+  double imbalance = 1.0;
+
+  double total() const noexcept {
+    return compute + broadcast + skew + shift + reduce + reassign + other;
+  }
+  double communication() const noexcept { return total() - compute; }
+};
+
+/// Builds a per-step report from a VirtualComm whose ledger accumulated
+/// `steps` timesteps.
+RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, int c);
+
+/// Prints reports as a fixed-width table mirroring the paper's stacked
+/// bars (one row per report).
+void print_reports(std::ostream& os, std::span<const RunReport> reports);
+
+/// CSV with the same columns.
+void write_reports_csv(const std::string& path, std::span<const RunReport> reports);
+
+}  // namespace canb::sim

@@ -1,0 +1,34 @@
+#include "sim/simulation.hpp"
+
+namespace canb::sim {
+
+const char* method_name(Method m) noexcept {
+  switch (m) {
+    case Method::CaAllPairs:
+      return "ca-all-pairs";
+    case Method::CaCutoff:
+      return "ca-cutoff";
+    case Method::ParticleRing:
+      return "particle-ring";
+    case Method::ParticleAllGather:
+      return "particle-allgather";
+    case Method::ForceDecomp:
+      return "force-decomp";
+    case Method::SpatialHalo:
+      return "spatial-halo";
+    case Method::Midpoint:
+      return "midpoint";
+  }
+  return "?";
+}
+
+std::pair<int, int> near_square_factors(int q) {
+  CANB_REQUIRE(q >= 1, "near_square_factors needs q >= 1");
+  int best = 1;
+  for (int f = 1; f * f <= q; ++f) {
+    if (q % f == 0) best = f;
+  }
+  return {best, q / best};
+}
+
+}  // namespace canb::sim

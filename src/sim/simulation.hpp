@@ -1,0 +1,219 @@
+// High-level simulation facade: pick a decomposition method, a machine
+// model, and a kernel; feed particles; step. This is the public entry point
+// used by the examples; benches and tests drive the engines directly.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/midpoint.hpp"
+#include "core/spatial_halo.hpp"
+#include "decomp/force_decomposition.hpp"
+#include "decomp/partition.hpp"
+#include "decomp/particle_decomposition.hpp"
+#include "particles/init.hpp"
+#include "sim/report.hpp"
+#include "support/assert.hpp"
+
+namespace canb::sim {
+
+enum class Method {
+  CaAllPairs,         ///< Algorithm 1 (the paper's contribution)
+  CaCutoff,           ///< Algorithm 2 / Section IV-C (1D or 2D from box.dims)
+  ParticleRing,       ///< baseline: systolic particle decomposition
+  ParticleAllGather,  ///< baseline: naive all-gather decomposition
+  ForceDecomp,        ///< baseline: Plimpton force decomposition
+  SpatialHalo,        ///< baseline: halo-exchange spatial decomposition (c=1)
+  Midpoint,           ///< related work: the midpoint method (Section II-D)
+};
+
+const char* method_name(Method m) noexcept;
+
+/// Splits q into the most square qx-by-qy factorization (qx <= qy).
+std::pair<int, int> near_square_factors(int q);
+
+template <particles::ForceKernel K>
+class Simulation {
+ public:
+  using Policy = core::RealPolicy<K>;
+
+  struct Config {
+    Method method = Method::CaAllPairs;
+    int p = 4;
+    int c = 1;  ///< replication factor (CA methods only)
+    machine::MachineModel machine;
+    particles::Box box = particles::Box::reflective_2d(1.0);
+    K kernel{};
+    double cutoff = 0.0;  ///< required > 0 for Method::CaCutoff
+    double dt = 1e-3;
+    std::string integrator = "velocity-verlet";
+  };
+
+  Simulation(Config cfg, particles::Block initial)
+      : cfg_(std::move(cfg)), engine_(make_engine(cfg_, std::move(initial))) {
+    set_integrator(cfg_.integrator);
+  }
+
+  void set_integrator(const std::string& name) {
+    std::visit([&](auto& e) { e.set_integrator(particles::make_integrator(name)); }, engine_);
+  }
+
+  /// Attaches a host thread pool to engines that support parallel force
+  /// loops (the CA engines); a no-op for the simple baselines.
+  void set_host_pool(std::shared_ptr<ThreadPool> pool) {
+    std::visit(
+        [&](auto& e) {
+          if constexpr (requires { e.set_host_pool(pool); }) e.set_host_pool(std::move(pool));
+        },
+        engine_);
+  }
+
+  void step() {
+    std::visit([](auto& e) { e.step(); }, engine_);
+    ++steps_;
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  int steps_taken() const noexcept { return steps_; }
+
+  /// All particles, sorted by id (authoritative owner copies).
+  particles::Block gather() const {
+    auto blocks = std::visit([](const auto& e) { return e.team_results(); }, engine_);
+    auto all = decomp::concat(blocks);
+    particles::sort_by_id(all);
+    return all;
+  }
+
+  const vmpi::VirtualComm& comm() const {
+    return std::visit([](const auto& e) -> const vmpi::VirtualComm& { return e.comm(); },
+                      engine_);
+  }
+
+  /// Per-step report over every step taken so far.
+  RunReport report(std::string label = {}) const {
+    return summarize(comm(), std::max(1, steps_),
+                     label.empty() ? method_name(cfg_.method) : std::move(label), cfg_.c);
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  using CaAllPairsT = core::CaAllPairs<Policy>;
+  using CaCutoffT = core::CaCutoff<Policy>;
+  using SpatialHaloT = core::SpatialHaloDecomposition<Policy>;
+  using MidpointT = core::MidpointMethod<K>;
+  using RingT = decomp::ParticleDecompositionRing<Policy>;
+  using AllGatherT = decomp::ParticleDecompositionAllGather<Policy>;
+  using ForceT = decomp::ForceDecomposition<Policy>;
+  using EngineVariant =
+      std::variant<CaAllPairsT, CaCutoffT, SpatialHaloT, MidpointT, RingT, AllGatherT, ForceT>;
+
+  static EngineVariant make_engine(const Config& cfg, particles::Block initial) {
+    cfg.box.validate();
+    Policy policy(typename Policy::Config{cfg.box, cfg.kernel, cfg.cutoff, cfg.dt});
+    switch (cfg.method) {
+      case Method::CaAllPairs: {
+        const int q = cfg.p / cfg.c;
+        return EngineVariant(
+            std::in_place_type<CaAllPairsT>,
+            typename CaAllPairsT::Config{cfg.p, cfg.c, cfg.machine}, std::move(policy),
+            decomp::split_even(initial, q));
+      }
+      case Method::CaCutoff: {
+        CANB_REQUIRE(cfg.cutoff > 0.0, "Method::CaCutoff requires a positive cutoff");
+        const int q = cfg.p / cfg.c;
+        const bool periodic = cfg.box.boundary == particles::Boundary::Periodic;
+        if (cfg.box.dims == 1) {
+          const int m = core::window_radius_teams(cfg.cutoff, cfg.box.lx, q);
+          return EngineVariant(
+              std::in_place_type<CaCutoffT>,
+              typename CaCutoffT::Config{cfg.p, cfg.c, cfg.machine,
+                                         core::CutoffGeometry::make_1d(q, m), periodic},
+              std::move(policy), decomp::split_spatial_1d(initial, cfg.box, q));
+        }
+        const auto [qx, qy] = near_square_factors(q);
+        const int mx = core::window_radius_teams(cfg.cutoff, cfg.box.lx, qx);
+        const int my = core::window_radius_teams(cfg.cutoff, cfg.box.ly, qy);
+        return EngineVariant(
+            std::in_place_type<CaCutoffT>,
+            typename CaCutoffT::Config{cfg.p, cfg.c, cfg.machine,
+                                       core::CutoffGeometry::make_2d(qx, qy, mx, my), periodic},
+            std::move(policy), decomp::split_spatial_2d(initial, cfg.box, qx, qy));
+      }
+      case Method::SpatialHalo: {
+        CANB_REQUIRE(cfg.cutoff > 0.0, "Method::SpatialHalo requires a positive cutoff");
+        CANB_REQUIRE(cfg.c == 1, "the halo-exchange baseline does not replicate (c must be 1)");
+        if (cfg.box.dims == 1) {
+          const int m = core::window_radius_teams(cfg.cutoff, cfg.box.lx, cfg.p);
+          return EngineVariant(
+              std::in_place_type<SpatialHaloT>,
+              typename SpatialHaloT::Config{cfg.p, cfg.machine,
+                                            core::CutoffGeometry::make_1d(cfg.p, m),
+                                            cfg.box.boundary == particles::Boundary::Periodic},
+              std::move(policy), decomp::split_spatial_1d(initial, cfg.box, cfg.p));
+        }
+        const auto [qx, qy] = near_square_factors(cfg.p);
+        const int mx = core::window_radius_teams(cfg.cutoff, cfg.box.lx, qx);
+        const int my = core::window_radius_teams(cfg.cutoff, cfg.box.ly, qy);
+        return EngineVariant(
+            std::in_place_type<SpatialHaloT>,
+            typename SpatialHaloT::Config{cfg.p, cfg.machine,
+                                          core::CutoffGeometry::make_2d(qx, qy, mx, my),
+                                          cfg.box.boundary == particles::Boundary::Periodic},
+            std::move(policy), decomp::split_spatial_2d(initial, cfg.box, qx, qy));
+      }
+      case Method::Midpoint: {
+        CANB_REQUIRE(cfg.cutoff > 0.0, "Method::Midpoint requires a positive cutoff");
+        CANB_REQUIRE(cfg.c == 1, "the midpoint method does not replicate (c must be 1)");
+        const bool periodic = cfg.box.boundary == particles::Boundary::Periodic;
+        if (cfg.box.dims == 1) {
+          const int m = core::window_radius_teams(cfg.cutoff, cfg.box.lx, cfg.p);
+          return EngineVariant(
+              std::in_place_type<MidpointT>,
+              typename MidpointT::Config{cfg.p, cfg.machine,
+                                         core::CutoffGeometry::make_1d(cfg.p, m), periodic},
+              std::move(policy), decomp::split_spatial_1d(initial, cfg.box, cfg.p));
+        }
+        const auto [qx, qy] = near_square_factors(cfg.p);
+        const int mx = core::window_radius_teams(cfg.cutoff, cfg.box.lx, qx);
+        const int my = core::window_radius_teams(cfg.cutoff, cfg.box.ly, qy);
+        return EngineVariant(
+            std::in_place_type<MidpointT>,
+            typename MidpointT::Config{cfg.p, cfg.machine,
+                                       core::CutoffGeometry::make_2d(qx, qy, mx, my), periodic},
+            std::move(policy), decomp::split_spatial_2d(initial, cfg.box, qx, qy));
+      }
+      case Method::ParticleRing:
+        return EngineVariant(std::in_place_type<RingT>,
+                             typename RingT::Config{cfg.p, cfg.machine}, std::move(policy),
+                             decomp::split_even(initial, cfg.p));
+      case Method::ParticleAllGather:
+        return EngineVariant(std::in_place_type<AllGatherT>,
+                             typename AllGatherT::Config{cfg.p, cfg.machine}, std::move(policy),
+                             decomp::split_even(initial, cfg.p));
+      case Method::ForceDecomp: {
+        const int s = static_cast<int>(std::lround(std::sqrt(static_cast<double>(cfg.p))));
+        return EngineVariant(std::in_place_type<ForceT>,
+                             typename ForceT::Config{cfg.p, cfg.machine}, std::move(policy),
+                             decomp::split_even(initial, s));
+      }
+    }
+    CANB_REQUIRE(false, "unknown simulation method");
+    // Unreachable; silences the missing-return warning.
+    throw PreconditionError("unreachable");
+  }
+
+  Config cfg_;
+  EngineVariant engine_;
+  int steps_ = 0;
+};
+
+}  // namespace canb::sim

@@ -1,0 +1,58 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+
+#include "support/assert.hpp"
+
+namespace canb::sim {
+
+void ClockSampler::sample(const vmpi::VirtualComm& vc, std::string label) {
+  Sample s;
+  s.label = std::move(label);
+  s.clocks.reserve(static_cast<std::size_t>(vc.size()));
+  for (int r = 0; r < vc.size(); ++r) s.clocks.push_back(vc.clock(r));
+  samples_.push_back(std::move(s));
+}
+
+void export_chrome_trace(const std::string& path, const ClockSampler& sampler,
+                         const vmpi::TraceRecorder* trace, double time_scale_us) {
+  std::ofstream f(path);
+  CANB_REQUIRE(f.good(), "cannot open trace output file: " + path);
+  const auto& samples = sampler.samples();
+  CANB_REQUIRE(!samples.empty(), "sampler holds no samples; call sample() during the run");
+
+  f << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) f << ",\n";
+    first = false;
+    f << json;
+  };
+
+  const std::size_t ranks = samples.front().clocks.size();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    double prev = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double now = samples[i].clocks[r];
+      if (now > prev) {
+        emit("{\"name\":\"" + samples[i].label + "\",\"ph\":\"X\",\"pid\":0,\"tid\":" +
+             std::to_string(r) + ",\"ts\":" + std::to_string(prev * time_scale_us) +
+             ",\"dur\":" + std::to_string((now - prev) * time_scale_us) + "}");
+      }
+      prev = now;
+    }
+  }
+
+  if (trace) {
+    for (const auto& e : trace->p2p()) {
+      emit("{\"name\":\"msg " + std::string(vmpi::phase_name(e.phase)) + " -> r" +
+           std::to_string(e.dst) + " (" + std::to_string(e.bytes) +
+           "B)\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" + std::to_string(e.src) +
+           ",\"ts\":" + std::to_string(static_cast<double>(e.round)) + "}");
+    }
+  }
+  f << "\n]}\n";
+  CANB_REQUIRE(f.good(), "trace write failed: " + path);
+}
+
+}  // namespace canb::sim

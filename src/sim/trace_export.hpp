@@ -1,0 +1,45 @@
+// Chrome-trace export: renders a simulation's communication schedule as a
+// chrome://tracing / Perfetto JSON timeline — one track per virtual rank,
+// one duration event per phase segment, flow arrows for messages.
+//
+// Usage: attach a TraceRecorder AND a ClockSampler to a run, then export.
+// The ClockSampler snapshots per-rank clocks between phases (the ledger
+// holds totals only, so segment boundaries must be sampled as they occur).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vmpi/trace.hpp"
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::sim {
+
+/// Samples per-rank clocks over time: call `sample(vc, label)` after each
+/// engine phase (or step) of interest; each sample becomes one colored
+/// segment per rank in the exported timeline.
+class ClockSampler {
+ public:
+  struct Sample {
+    std::string label;
+    std::vector<double> clocks;  ///< per-rank clock at sample time (seconds)
+  };
+
+  void sample(const vmpi::VirtualComm& vc, std::string label);
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Writes Chrome trace-event JSON. Each rank is a "thread"; each interval
+/// between consecutive samples becomes a duration event labelled with the
+/// later sample's label. If `trace` is non-null, point-to-point messages
+/// are added as flow-style instant events on the sender's track.
+void export_chrome_trace(const std::string& path, const ClockSampler& sampler,
+                         const vmpi::TraceRecorder* trace = nullptr,
+                         double time_scale_us = 1e6);
+
+}  // namespace canb::sim

@@ -1,0 +1,27 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace canb::detail {
+
+void assert_fail(const char* expr, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "CANB_ASSERT failed: (%s) at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+void require_fail(const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << msg << " [" << expr << "]";
+  throw PreconditionError(os.str());
+}
+
+std::string format_location(const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line();
+  return os.str();
+}
+
+}  // namespace canb::detail

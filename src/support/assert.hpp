@@ -1,0 +1,45 @@
+// Error handling primitives.
+//
+// CANB_REQUIRE is for user-facing precondition violations (bad replication
+// factor, non-divisible grid, ...). It throws canb::PreconditionError with a
+// formatted message so callers can recover or report.
+//
+// CANB_ASSERT is for internal invariants; it aborts with a diagnostic. It is
+// active in all build types: this library's value is correctness of its
+// schedules and ledgers, and the checks are cheap relative to the work.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace canb {
+
+/// Thrown when a documented API precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line, const std::string& msg);
+[[noreturn]] void require_fail(const char* expr, const std::string& msg);
+std::string format_location(const std::source_location& loc);
+}  // namespace detail
+
+}  // namespace canb
+
+#define CANB_ASSERT(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) ::canb::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CANB_ASSERT_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::canb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define CANB_REQUIRE(expr, msg)                                  \
+  do {                                                           \
+    if (!(expr)) ::canb::detail::require_fail(#expr, (msg));     \
+  } while (false)

@@ -1,0 +1,77 @@
+#include "support/parallel.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb {
+
+ThreadPool::ThreadPool(int threads) {
+  CANB_REQUIRE(threads >= 0, "thread count must be non-negative");
+  const int extra = threads <= 1 ? 0 : threads - 1;  // caller thread works too
+  tasks_.resize(static_cast<std::size_t>(extra));
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i)
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::size_t seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = tasks_[index];
+    }
+    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(int begin, int end,
+                                     const std::function<void(int, int)>& fn) {
+  if (end <= begin) return;
+  if (workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+  const int parts = static_cast<int>(workers_.size()) + 1;
+  const int total = end - begin;
+  const int chunk = (total + parts - 1) / parts;
+  int next = begin + chunk;  // [begin, next) runs on the calling thread
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const int b = std::min(end, next + static_cast<int>(i) * chunk);
+      const int e = std::min(end, b + chunk);
+      tasks_[i] = {&fn, b, e};
+    }
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(begin, std::min(end, next));
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(int begin, int end, const std::function<void(int)>& fn) {
+  parallel_for_chunks(begin, end, [&](int b, int e) {
+    for (int i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace canb

@@ -1,0 +1,63 @@
+// Host-side shared-memory parallelism: a small persistent thread pool and
+// a blocking parallel_for over index ranges.
+//
+// The virtual ranks of a simulation are independent within each engine
+// phase (per-rank buffers, per-rank ledger rows), so the hot per-rank
+// loops parallelize across host threads without changing results: each
+// virtual rank's arithmetic stays sequential, so floating-point sums are
+// bitwise identical to the serial execution (tests assert this).
+//
+// Design notes: static range chunking (the per-rank work in one phase is
+// near-uniform, so work stealing would buy nothing), condition-variable
+// parking between calls, and a serial fast path for thread counts <= 1 so
+// the default configuration costs nothing.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace canb {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 or 1 means "serial": no threads spawn and
+  /// parallel_for degenerates to a plain loop.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [begin, end), split into contiguous chunks
+  /// across the pool plus the calling thread. Blocks until all complete.
+  /// fn must not throw (engine loops are noexcept by construction).
+  void parallel_for(int begin, int end, const std::function<void(int)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) — lets hot loops hoist
+  /// per-chunk setup out of the per-index body.
+  void parallel_for_chunks(int begin, int end, const std::function<void(int, int)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(int, int)>* fn = nullptr;
+    int begin = 0;
+    int end = 0;
+  };
+
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> tasks_;      // one slot per worker
+  std::size_t generation_ = 0;   // bumped per parallel_for call
+  std::size_t pending_ = 0;      // workers still running this generation
+  bool stopping_ = false;
+};
+
+}  // namespace canb

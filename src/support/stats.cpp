@@ -1,0 +1,100 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  CANB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double imbalance_factor(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double mx = 0.0;
+  double sum = 0.0;
+  for (double x : xs) {
+    mx = std::max(mx, x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      acc += std::log(x);
+      ++n;
+    }
+  }
+  return n ? std::exp(acc / static_cast<double>(n)) : 0.0;
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  CANB_REQUIRE(x.size() == y.size() && x.size() >= 2, "loglog_slope needs >=2 matching points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CANB_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "loglog_slope requires positive data");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace canb

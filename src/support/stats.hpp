@@ -1,0 +1,48 @@
+// Small statistics helpers used by benches and the load-imbalance analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace canb {
+
+/// Streaming accumulator: mean/variance via Welford, min/max, sum.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantile of a copy of `xs` (linear interpolation between ranks).
+/// q in [0,1]; empty input returns 0.
+double quantile(std::span<const double> xs, double q);
+
+/// max/mean ratio — the load-imbalance factor used in Section IV analysis.
+/// Returns 1.0 for empty or all-zero input.
+double imbalance_factor(std::span<const double> xs);
+
+/// Geometric mean of positive values (zeros/negatives are skipped).
+double geometric_mean(std::span<const double> xs);
+
+/// Least-squares slope of log(y) vs log(x); used by tests to check
+/// measured scaling exponents (e.g. W ~ c^-1). Requires positive data.
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace canb

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace canb {
+
+Table::Table(std::vector<ColumnSpec> columns) : cols_(std::move(columns)) {
+  CANB_REQUIRE(!cols_.empty(), "table needs at least one column");
+  for (auto& c : cols_) c.width = std::max<int>(c.width, static_cast<int>(c.header.size()));
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  CANB_REQUIRE(cells.size() == cols_.size(), "row arity must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c, const ColumnSpec& spec) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&c)) {
+    os << *i;
+  } else {
+    const double d = std::get<double>(c);
+    if (spec.scientific)
+      os << std::scientific << std::setprecision(spec.precision) << d;
+    else
+      os << std::fixed << std::setprecision(spec.precision) << d;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < cols_.size(); ++j) {
+    os << (j ? "  " : "") << std::setw(cols_[j].width) << cols_[j].header;
+    total += static_cast<std::size_t>(cols_[j].width) + (j ? 2 : 0);
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < cols_.size(); ++j)
+      os << (j ? "  " : "") << std::setw(cols_[j].width) << format_cell(row[j], cols_[j]);
+    os << '\n';
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t j = 0; j < cols_.size(); ++j) os << (j ? "," : "") << cols_[j].header;
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < cols_.size(); ++j)
+      os << (j ? "," : "") << format_cell(row[j], cols_[j]);
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  CANB_REQUIRE(f.good(), "cannot open CSV output file: " + path);
+  write_csv(f);
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  const double a = std::abs(s);
+  if (a >= 1.0)
+    os << s << " s";
+  else if (a >= 1e-3)
+    os << s * 1e3 << " ms";
+  else if (a >= 1e-6)
+    os << s * 1e6 << " us";
+  else
+    os << s * 1e9 << " ns";
+  return os.str();
+}
+
+std::string format_bytes(double b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (b >= 1024.0 * 1024.0 * 1024.0)
+    os << b / (1024.0 * 1024.0 * 1024.0) << " GiB";
+  else if (b >= 1024.0 * 1024.0)
+    os << b / (1024.0 * 1024.0) << " MiB";
+  else if (b >= 1024.0)
+    os << b / 1024.0 << " KiB";
+  else
+    os << b << " B";
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  return "==== " + title + " ====";
+}
+
+}  // namespace canb

@@ -1,0 +1,54 @@
+// Fixed-width console tables and CSV emission for the bench harness.
+//
+// Every figure-reproduction bench prints (a) a human-readable table mirroring
+// the paper's plot series and (b) optional CSV for replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace canb {
+
+/// A cell is a string, an integer, or a double (formatted per column).
+using Cell = std::variant<std::string, long long, double>;
+
+struct ColumnSpec {
+  std::string header;
+  int width = 12;        ///< minimum width; grows to fit header
+  int precision = 4;     ///< for double cells
+  bool scientific = false;
+};
+
+/// Builds a rectangular table; rows must match the column count.
+class Table {
+ public:
+  explicit Table(std::vector<ColumnSpec> columns);
+
+  void add_row(std::vector<Cell> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Pretty fixed-width rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no embedded quotes expected in our data).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c, const ColumnSpec& spec) const;
+  std::vector<ColumnSpec> cols_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats seconds with an adaptive unit (s / ms / µs / ns).
+std::string format_seconds(double s);
+
+/// Formats byte counts with an adaptive unit (B / KiB / MiB / GiB).
+std::string format_bytes(double b);
+
+/// Section banner used by benches: "==== title ====".
+std::string banner(const std::string& title);
+
+}  // namespace canb

@@ -1,0 +1,159 @@
+#include "vmpi/cost_ledger.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace canb::vmpi {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::Compute:
+      return "compute";
+    case Phase::Broadcast:
+      return "broadcast";
+    case Phase::Skew:
+      return "skew";
+    case Phase::Shift:
+      return "shift";
+    case Phase::Reduce:
+      return "reduce";
+    case Phase::Reassign:
+      return "reassign";
+    case Phase::Other:
+      return "other";
+  }
+  return "?";
+}
+
+CostLedger::CostLedger(int p) : p_(p) {
+  CANB_REQUIRE(p >= 1, "ledger needs p >= 1");
+  for (int i = 0; i < kPhaseCount; ++i) {
+    seconds_[i].assign(static_cast<std::size_t>(p), 0.0);
+    messages_[i].assign(static_cast<std::size_t>(p), 0);
+    bytes_[i].assign(static_cast<std::size_t>(p), 0);
+  }
+}
+
+void CostLedger::charge(int rank, Phase phase, double seconds, std::uint64_t messages,
+                        std::uint64_t bytes) {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  const auto ph = static_cast<int>(phase);
+  seconds_[ph][static_cast<std::size_t>(rank)] += seconds;
+  messages_[ph][static_cast<std::size_t>(rank)] += messages;
+  bytes_[ph][static_cast<std::size_t>(rank)] += bytes;
+}
+
+void CostLedger::charge_all(Phase phase, double seconds, std::uint64_t messages,
+                            std::uint64_t bytes, std::uint64_t repeat) {
+  const auto ph = static_cast<int>(phase);
+  const double sec = seconds * static_cast<double>(repeat);
+  const std::uint64_t msg = messages * repeat;
+  const std::uint64_t byt = bytes * repeat;
+  for (int r = 0; r < p_; ++r) {
+    seconds_[ph][static_cast<std::size_t>(r)] += sec;
+    messages_[ph][static_cast<std::size_t>(r)] += msg;
+    bytes_[ph][static_cast<std::size_t>(r)] += byt;
+  }
+}
+
+void CostLedger::reset() {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    std::fill(seconds_[i].begin(), seconds_[i].end(), 0.0);
+    std::fill(messages_[i].begin(), messages_[i].end(), 0);
+    std::fill(bytes_[i].begin(), bytes_[i].end(), 0);
+  }
+}
+
+double CostLedger::seconds(int rank, Phase phase) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  return seconds_[static_cast<int>(phase)][static_cast<std::size_t>(rank)];
+}
+
+double CostLedger::total_seconds(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  double total = 0.0;
+  for (int i = 0; i < kPhaseCount; ++i) total += seconds_[i][static_cast<std::size_t>(rank)];
+  return total;
+}
+
+std::uint64_t CostLedger::messages(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  std::uint64_t total = 0;
+  for (int i = 0; i < kPhaseCount; ++i) total += messages_[i][static_cast<std::size_t>(rank)];
+  return total;
+}
+
+std::uint64_t CostLedger::bytes(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  std::uint64_t total = 0;
+  for (int i = 0; i < kPhaseCount; ++i) total += bytes_[i][static_cast<std::size_t>(rank)];
+  return total;
+}
+
+int CostLedger::critical_rank() const {
+  int best = 0;
+  double best_t = -1.0;
+  for (int r = 0; r < p_; ++r) {
+    const double t = total_seconds(r);
+    if (t > best_t) {
+      best_t = t;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::array<PhaseTotals, kPhaseCount> CostLedger::critical_breakdown() const {
+  const int r = critical_rank();
+  std::array<PhaseTotals, kPhaseCount> out{};
+  for (int i = 0; i < kPhaseCount; ++i) {
+    out[static_cast<std::size_t>(i)] = {seconds_[i][static_cast<std::size_t>(r)],
+                                        messages_[i][static_cast<std::size_t>(r)],
+                                        bytes_[i][static_cast<std::size_t>(r)]};
+  }
+  return out;
+}
+
+std::uint64_t CostLedger::critical_messages() const {
+  std::uint64_t best = 0;
+  for (int r = 0; r < p_; ++r) best = std::max(best, messages(r));
+  return best;
+}
+
+std::uint64_t CostLedger::critical_bytes() const {
+  std::uint64_t best = 0;
+  for (int r = 0; r < p_; ++r) best = std::max(best, bytes(r));
+  return best;
+}
+
+PhaseTotals CostLedger::aggregate(Phase phase) const {
+  const auto ph = static_cast<int>(phase);
+  PhaseTotals out;
+  for (int r = 0; r < p_; ++r) {
+    out.seconds += seconds_[ph][static_cast<std::size_t>(r)];
+    out.messages += messages_[ph][static_cast<std::size_t>(r)];
+    out.bytes += bytes_[ph][static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+std::uint64_t CostLedger::aggregate_messages() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < p_; ++r) total += messages(r);
+  return total;
+}
+
+std::uint64_t CostLedger::aggregate_bytes() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < p_; ++r) total += bytes(r);
+  return total;
+}
+
+std::vector<double> CostLedger::per_rank_seconds() const {
+  std::vector<double> out(static_cast<std::size_t>(p_));
+  for (int r = 0; r < p_; ++r) out[static_cast<std::size_t>(r)] = total_seconds(r);
+  return out;
+}
+
+}  // namespace canb::vmpi

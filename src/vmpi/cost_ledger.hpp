@@ -1,0 +1,87 @@
+// Per-rank, per-phase accounting of virtual time, messages, and bytes.
+//
+// The ledger maintains the invariant that a rank's virtual clock equals the
+// sum of its per-phase seconds: every clock advance is attributed to exactly
+// one phase (waiting for a sender is charged to the communication phase that
+// waited — this is how load imbalance surfaces in the shift bars of Fig. 6).
+//
+// Message/byte counts follow the paper's accounting: S counts messages and
+// W counts data volume along the critical path, i.e. the per-rank maxima of
+// the totals (Section II-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace canb::vmpi {
+
+/// Phases mirror the stacked-bar breakdown in the paper's figures.
+enum class Phase : int {
+  Compute = 0,
+  Broadcast,
+  Skew,
+  Shift,
+  Reduce,
+  Reassign,
+  Other,
+};
+inline constexpr int kPhaseCount = 7;
+const char* phase_name(Phase p) noexcept;
+
+struct PhaseTotals {
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class CostLedger {
+ public:
+  explicit CostLedger(int p);
+
+  int ranks() const noexcept { return p_; }
+
+  void charge(int rank, Phase phase, double seconds, std::uint64_t messages = 0,
+              std::uint64_t bytes = 0);
+
+  /// Adds the same charge to every rank (bulk fast path for uniform steps).
+  void charge_all(Phase phase, double seconds, std::uint64_t messages, std::uint64_t bytes,
+                  std::uint64_t repeat = 1);
+
+  void reset();
+
+  // --- queries ----------------------------------------------------------
+  double seconds(int rank, Phase phase) const;
+  double total_seconds(int rank) const;
+  std::uint64_t messages(int rank) const;
+  std::uint64_t bytes(int rank) const;
+
+  /// Rank with the largest total virtual time (the critical rank).
+  int critical_rank() const;
+
+  /// Breakdown of the critical rank — what the paper's bar charts show.
+  std::array<PhaseTotals, kPhaseCount> critical_breakdown() const;
+
+  /// Critical-path S: max over ranks of total messages.
+  std::uint64_t critical_messages() const;
+  /// Critical-path W: max over ranks of total bytes.
+  std::uint64_t critical_bytes() const;
+
+  /// Aggregate totals over all ranks (for traffic accounting).
+  PhaseTotals aggregate(Phase phase) const;
+  std::uint64_t aggregate_messages() const;
+  std::uint64_t aggregate_bytes() const;
+
+  /// Per-rank total seconds (for imbalance statistics).
+  std::vector<double> per_rank_seconds() const;
+
+ private:
+  int p_;
+  // Layout: phase-major contiguous arrays for cache-friendly hot loops.
+  std::array<std::vector<double>, kPhaseCount> seconds_;
+  std::array<std::vector<std::uint64_t>, kPhaseCount> messages_;
+  std::array<std::vector<std::uint64_t>, kPhaseCount> bytes_;
+};
+
+}  // namespace canb::vmpi

@@ -1,0 +1,34 @@
+#include "vmpi/grid.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace canb::vmpi {
+
+Grid2d Grid2d::make(int p, int c) {
+  CANB_REQUIRE(p >= 1, "grid needs p >= 1");
+  CANB_REQUIRE(c >= 1, "replication factor must be >= 1");
+  CANB_REQUIRE(p % c == 0, "replication factor must divide p");
+  return Grid2d(c, p / c);
+}
+
+std::string Grid2d::describe() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " (c=" << rows_ << ", teams=" << cols_ << ")";
+  return os.str();
+}
+
+bool valid_all_pairs_replication(int p, int c) noexcept {
+  if (c < 1 || p < 1 || p % c != 0) return false;
+  const int q = p / c;
+  // c^2 <= p is implied by c | q when c <= q, but state both explicitly.
+  return static_cast<long long>(c) * c <= p && q % c == 0;
+}
+
+bool valid_cutoff_replication(int p, int c, int m) noexcept {
+  if (c < 1 || p < 1 || p % c != 0) return false;
+  return c <= 2 * m;
+}
+
+}  // namespace canb::vmpi

@@ -1,0 +1,54 @@
+// The processor grid of Algorithm 1/2: p ranks arranged as c rows by
+// q = p/c columns. A column is a "team" that collectively owns one subset
+// of particles; row 0 holds the team leaders.
+#pragma once
+
+#include <string>
+
+namespace canb::vmpi {
+
+class Grid2d {
+ public:
+  /// Builds a c-row by (p/c)-column grid. Throws PreconditionError unless
+  /// 1 <= c, c divides p.
+  static Grid2d make(int p, int c);
+
+  int rows() const noexcept { return rows_; }     ///< replication factor c
+  int cols() const noexcept { return cols_; }     ///< number of teams q = p/c
+  int size() const noexcept { return rows_ * cols_; }
+
+  int rank(int row, int col) const noexcept { return row * cols_ + col; }
+  int row_of(int r) const noexcept { return r / cols_; }
+  int col_of(int r) const noexcept { return r % cols_; }
+
+  /// Team leader of column `col` (row 0).
+  int leader(int col) const noexcept { return rank(0, col); }
+
+  /// Column index shifted east by `d` with wrap-around (d may be negative
+  /// or exceed cols).
+  int wrap_col(int col, int d) const noexcept {
+    const int q = cols_;
+    int v = (col + d) % q;
+    if (v < 0) v += q;
+    return v;
+  }
+
+  std::string describe() const;
+
+ private:
+  Grid2d(int rows, int cols) noexcept : rows_(rows), cols_(cols) {}
+  int rows_;
+  int cols_;
+};
+
+/// True iff replication factor c is valid for the all-pairs algorithm on p
+/// ranks: c >= 1, c divides p, c^2 <= p, and c divides p/c (so the shift
+/// loop runs an integral p/c^2 steps).
+bool valid_all_pairs_replication(int p, int c) noexcept;
+
+/// True iff c is valid for the cutoff algorithm with window of m teams on
+/// each side: c >= 1, c divides p, and c <= 2m (Section IV-D: the
+/// replication factor must "fit inside" the interaction diameter).
+bool valid_cutoff_replication(int p, int c, int m) noexcept;
+
+}  // namespace canb::vmpi

@@ -1,0 +1,118 @@
+// Data-moving communication primitives over per-rank buffers.
+//
+// Buffers live in a std::vector<B> indexed by rank; the same templates run
+// with real particle blocks (std::vector<Particle>) and phantom blocks
+// (counts only), guaranteeing the cost accounting is payload-independent.
+// Each primitive both moves the data and charges the VirtualComm.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::vmpi {
+
+/// Generic permutation round: rank r receives the buffer of src_of(r)
+/// (which must be a permutation of 0..p-1). Used for the 2D cutoff
+/// algorithm's window walks, where displacements wrap per-axis and cannot
+/// be expressed as row rotations. `scratch` avoids reallocation across
+/// calls; it is resized as needed.
+template <class B, class BytesOf, class SrcFn>
+void permute_buffers(VirtualComm& vc, SrcFn&& src_of, std::vector<B>& bufs,
+                     std::vector<B>& scratch, BytesOf&& bytes_of, Phase phase,
+                     bool shift_phase = true) {
+  vc.permute_step(
+      phase, src_of,
+      [&](int src) { return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(src)])); },
+      shift_phase);
+  scratch.resize(bufs.size());
+  for (int r = 0; r < static_cast<int>(bufs.size()); ++r)
+    scratch[static_cast<std::size_t>(r)] = std::move(bufs[static_cast<std::size_t>(src_of(r))]);
+  bufs.swap(scratch);
+}
+
+/// Shifts every row's buffers east by `dist` columns (wrap-around). A rank
+/// at (row, col) sends its buffer to (row, col+dist) and receives from
+/// (row, col-dist). Zero-cost no-op when dist ≡ 0 (mod cols).
+template <class B, class BytesOf>
+void shift_rows(VirtualComm& vc, const Grid2d& g, int dist, std::vector<B>& bufs,
+                BytesOf&& bytes_of, Phase phase = Phase::Shift) {
+  CANB_ASSERT(static_cast<int>(bufs.size()) == g.size());
+  const int q = g.cols();
+  int d = dist % q;
+  if (d < 0) d += q;
+  if (d == 0) return;
+  vc.permute_step(
+      phase, [&](int r) { return g.rank(g.row_of(r), g.wrap_col(g.col_of(r), -d)); },
+      [&](int src) { return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(src)])); },
+      /*shift_phase=*/true);
+  for (int row = 0; row < g.rows(); ++row) {
+    const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
+    // Rotate right by d: element at col moves to col+d.
+    std::rotate(first, first + (q - d), first + q);
+  }
+}
+
+/// Row-dependent shift: row k shifts east by dist_of_row(k) columns. Used
+/// for the initial skew of Algorithms 1 and 2.
+template <class B, class BytesOf, class DistFn>
+void skew_rows(VirtualComm& vc, const Grid2d& g, DistFn&& dist_of_row, std::vector<B>& bufs,
+               BytesOf&& bytes_of, Phase phase = Phase::Skew) {
+  CANB_ASSERT(static_cast<int>(bufs.size()) == g.size());
+  const int q = g.cols();
+  std::vector<int> d(static_cast<std::size_t>(g.rows()));
+  for (int row = 0; row < g.rows(); ++row) {
+    int v = dist_of_row(row) % q;
+    if (v < 0) v += q;
+    d[static_cast<std::size_t>(row)] = v;
+  }
+  vc.permute_step(
+      phase,
+      [&](int r) {
+        const int row = g.row_of(r);
+        return g.rank(row, g.wrap_col(g.col_of(r), -d[static_cast<std::size_t>(row)]));
+      },
+      [&](int src) { return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(src)])); },
+      /*shift_phase=*/false);
+  for (int row = 0; row < g.rows(); ++row) {
+    const int dd = d[static_cast<std::size_t>(row)];
+    if (dd == 0) continue;
+    const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
+    std::rotate(first, first + (q - dd), first + q);
+  }
+}
+
+/// Broadcasts each team leader's buffer to the rest of its team (column).
+template <class B, class BytesOf>
+void broadcast_teams(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs, BytesOf&& bytes_of,
+                     Phase phase = Phase::Broadcast) {
+  CANB_ASSERT(static_cast<int>(bufs.size()) == g.size());
+  vc.team_broadcast(g, phase, [&](int col) {
+    return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(g.leader(col))]));
+  });
+  for (int col = 0; col < g.cols(); ++col) {
+    const auto& src = bufs[static_cast<std::size_t>(g.leader(col))];
+    for (int row = 1; row < g.rows(); ++row)
+      bufs[static_cast<std::size_t>(g.rank(row, col))] = src;
+  }
+}
+
+/// Reduces each team's buffers into the leader's buffer using
+/// combine(acc, in). Non-leader buffers are left untouched.
+template <class B, class BytesOf, class Combine>
+void reduce_teams(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs, BytesOf&& bytes_of,
+                  Combine&& combine, Phase phase = Phase::Reduce) {
+  CANB_ASSERT(static_cast<int>(bufs.size()) == g.size());
+  vc.team_reduce(g, phase, [&](int col) {
+    return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(g.leader(col))]));
+  });
+  for (int col = 0; col < g.cols(); ++col) {
+    auto& acc = bufs[static_cast<std::size_t>(g.leader(col))];
+    for (int row = 1; row < g.rows(); ++row)
+      combine(acc, bufs[static_cast<std::size_t>(g.rank(row, col))]);
+  }
+}
+
+}  // namespace canb::vmpi

@@ -1,0 +1,83 @@
+// Communication trace recording.
+//
+// When a TraceRecorder is attached to a VirtualComm, every point-to-point
+// message and every collective is appended as an event. Tests use traces
+// to verify the *pattern* of Algorithms 1 and 2 — the skew distances, the
+// stride-c shifts, the team-collective structure illustrated in the
+// paper's Figures 1, 4, and 5 — independently of costs and physics.
+//
+// Tracing is opt-in: benches at paper scale run without a recorder and
+// pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmpi/cost_ledger.hpp"
+
+namespace canb::vmpi {
+
+struct P2pEvent {
+  Phase phase = Phase::Other;
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  int round = 0;  ///< synchronous round index (increments per permute step)
+};
+
+struct CollectiveEvent {
+  Phase phase = Phase::Other;
+  bool is_reduce = false;
+  std::vector<int> members;
+  std::uint64_t bytes = 0;
+  int round = 0;
+};
+
+class TraceRecorder {
+ public:
+  void begin_round() noexcept { ++round_; }
+
+  void record_p2p(Phase phase, int src, int dst, std::uint64_t bytes) {
+    p2p_.push_back({phase, src, dst, bytes, round_});
+  }
+
+  void record_collective(Phase phase, bool is_reduce, std::vector<int> members,
+                         std::uint64_t bytes) {
+    collectives_.push_back({phase, is_reduce, std::move(members), bytes, round_});
+  }
+
+  void clear() {
+    p2p_.clear();
+    collectives_.clear();
+    round_ = 0;
+  }
+
+  const std::vector<P2pEvent>& p2p() const noexcept { return p2p_; }
+  const std::vector<CollectiveEvent>& collectives() const noexcept { return collectives_; }
+  int rounds() const noexcept { return round_; }
+
+  /// Events of one phase, in order.
+  std::vector<P2pEvent> p2p_of(Phase phase) const {
+    std::vector<P2pEvent> out;
+    for (const auto& e : p2p_) {
+      if (e.phase == phase) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Total bytes sent by a rank across all point-to-point events.
+  std::uint64_t bytes_sent_by(int rank) const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& e : p2p_) {
+      if (e.src == rank) total += e.bytes;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<P2pEvent> p2p_;
+  std::vector<CollectiveEvent> collectives_;
+  int round_ = 0;
+};
+
+}  // namespace canb::vmpi

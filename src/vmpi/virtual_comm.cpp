@@ -1,0 +1,86 @@
+#include "vmpi/virtual_comm.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace canb::vmpi {
+
+VirtualComm::VirtualComm(int p, machine::MachineModel model)
+    : p_(p), model_(std::move(model)), ledger_(p) {
+  CANB_REQUIRE(p >= 1, "VirtualComm needs p >= 1");
+  model_.validate();
+  clock_.assign(static_cast<std::size_t>(p), 0.0);
+  scratch_.assign(static_cast<std::size_t>(p), 0.0);
+  if (model_.alpha_hop > 0.0) {
+    // Hop-aware charging needs a topology covering exactly p ranks; reuse
+    // the model's if it fits, otherwise build a balanced torus.
+    if (model_.topology && model_.topology->size() == p) {
+      hop_topology_ = model_.topology;
+    } else {
+      hop_topology_ =
+          std::make_shared<machine::Topology>(machine::Topology::balanced_torus3d(p));
+    }
+  }
+}
+
+double VirtualComm::clock(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  return clock_[static_cast<std::size_t>(rank)];
+}
+
+double VirtualComm::max_clock() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+void VirtualComm::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  ledger_.reset();
+  if (trace_) trace_->clear();
+}
+
+void VirtualComm::advance(int rank, Phase phase, double seconds, std::uint64_t messages,
+                          std::uint64_t bytes) {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  CANB_ASSERT_MSG(seconds >= -1e-15, "clocks cannot run backwards");
+  ledger_.charge(rank, phase, seconds, messages, bytes);
+  clock_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+void VirtualComm::charge_interactions(int rank, double interactions) {
+  advance(rank, Phase::Compute, model_.compute_time(interactions));
+}
+
+void VirtualComm::advance_all(Phase phase, double seconds, std::uint64_t messages,
+                              std::uint64_t bytes, std::uint64_t repeat) {
+  ledger_.charge_all(phase, seconds, messages, bytes, repeat);
+  const double dt = seconds * static_cast<double>(repeat);
+  for (auto& c : clock_) c += dt;
+}
+
+void VirtualComm::whole_machine_collective(Phase phase, double bytes, bool is_reduce) {
+  if (p_ <= 1) return;
+  double t0 = 0.0;
+  for (double c : clock_) t0 = std::max(t0, c);
+  machine::CollectiveContext ctx{p_, bytes, p_, /*whole_partition=*/true};
+  const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+  const double finish = t0 + t_coll;
+  const auto msgs = static_cast<std::uint64_t>(model_.collective_messages(p_));
+  for (int r = 0; r < p_; ++r) {
+    advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs,
+            static_cast<std::uint64_t>(bytes));
+    clock_[static_cast<std::size_t>(r)] = finish;
+  }
+}
+
+void VirtualComm::synchronize(Phase phase) {
+  const double t = max_clock();
+  for (int r = 0; r < p_; ++r) {
+    advance(r, phase, t - clock_[static_cast<std::size_t>(r)]);
+    clock_[static_cast<std::size_t>(r)] = t;
+  }
+}
+
+void VirtualComm::snapshot_clocks() { scratch_ = clock_; }
+
+}  // namespace canb::vmpi

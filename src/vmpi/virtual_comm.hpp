@@ -1,0 +1,192 @@
+// VirtualComm: p virtual ranks with per-rank clocks, executing synchronous
+// communication steps against a MachineModel.
+//
+// Semantics:
+//  * permute_step models an MPI_Sendrecv round: every rank sends one message
+//    and receives one; the receiver's clock becomes
+//    max(own, sender) + (alpha + beta*bytes). The elapsed time (including
+//    any wait for a slow sender) is charged to the given phase.
+//  * team_broadcast / team_reduce model tree collectives within each column
+//    of a Grid2d; all members synchronize at max(member clocks) + T_coll.
+//  * Message/byte accounting follows the paper (Section III-B): a tree
+//    collective on c ranks charges ceil(log2 c) messages and O(w) bytes to
+//    the critical path (pipelined tree), a point-to-point round charges one
+//    message of w bytes.
+//
+// Data movement lives in primitives.hpp; this class is cost-only, which is
+// what allows identical accounting for real and phantom payloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "support/assert.hpp"
+#include "vmpi/cost_ledger.hpp"
+#include "vmpi/grid.hpp"
+#include "vmpi/trace.hpp"
+
+namespace canb::vmpi {
+
+class VirtualComm {
+ public:
+  VirtualComm(int p, machine::MachineModel model);
+
+  int size() const noexcept { return p_; }
+  const machine::MachineModel& model() const noexcept { return model_; }
+
+  double clock(int rank) const;
+  double max_clock() const;
+
+  CostLedger& ledger() noexcept { return ledger_; }
+  const CostLedger& ledger() const noexcept { return ledger_; }
+
+  /// Zeroes all clocks and the ledger (an attached trace is also cleared).
+  void reset();
+
+  /// Attaches a trace recorder (not owned; nullptr detaches). Tracing is
+  /// for tests and debugging — it records every message.
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+  TraceRecorder* trace() const noexcept { return trace_; }
+
+  // --- local charges -----------------------------------------------------
+  /// Advances one rank's clock, attributing to `phase`.
+  void advance(int rank, Phase phase, double seconds, std::uint64_t messages = 0,
+               std::uint64_t bytes = 0);
+
+  /// Charges `interactions` pairwise force evaluations to one rank.
+  void charge_interactions(int rank, double interactions);
+
+  /// Bulk fast path: advances every rank identically, `repeat` times.
+  /// Exactly equivalent to `repeat` uniform per-rank advances.
+  void advance_all(Phase phase, double seconds, std::uint64_t messages, std::uint64_t bytes,
+                   std::uint64_t repeat = 1);
+
+  // --- synchronous communication rounds -----------------------------------
+  /// One permutation round: rank r receives from src_of(r) a message of
+  /// bytes_from(src) bytes. `src_of` must be a permutation; a round trips
+  /// every rank exactly once. If src_of(r) == r the rank neither sends nor
+  /// receives (zero cost). `shift_phase` selects the (possibly
+  /// torus-optimized) shift cost instead of plain point-to-point.
+  template <class SrcFn, class BytesFn>
+  void permute_step(Phase phase, SrcFn&& src_of, BytesFn&& bytes_from, bool shift_phase = true) {
+    snapshot_clocks();
+    if (trace_) trace_->begin_round();
+    const auto& m = model_;
+    // Hop-aware latency is opt-in (alpha_hop > 0): virtual ranks map
+    // rank-order onto the machine's torus, so message distance follows the
+    // schedule's column displacement.
+    const bool hop_aware = m.alpha_hop > 0.0 && hop_topology_ != nullptr;
+    for (int r = 0; r < p_; ++r) {
+      const int src = src_of(r);
+      if (src == r) continue;
+      const double w = bytes_from(src);
+      // Empty payloads send no message (e.g. boundary leaders in the
+      // re-assignment exchange have nothing to route outward).
+      if (w <= 0.0) continue;
+      if (trace_) trace_->record_p2p(phase, src, r, static_cast<std::uint64_t>(w));
+      const int hops = hop_aware ? hop_topology_->hops(src, r) : 1;
+      const double cost = shift_phase ? m.shift_time(w, hops) : m.p2p_time(w, hops);
+      const double start = std::max(clock_[static_cast<std::size_t>(r)],
+                                    scratch_[static_cast<std::size_t>(src)]);
+      const double finish = start + cost;
+      advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], 1,
+              static_cast<std::uint64_t>(w));
+      clock_[static_cast<std::size_t>(r)] = finish;
+    }
+  }
+
+  /// Tree broadcast within every column (team) of `grid`.
+  /// bytes_of_team(col) gives the payload size per team.
+  template <class BytesFn>
+  void team_broadcast(const Grid2d& grid, Phase phase, BytesFn&& bytes_of_team) {
+    team_collective(grid, phase, /*is_reduce=*/false, std::forward<BytesFn>(bytes_of_team));
+  }
+
+  /// Tree reduction within every column (team) of `grid`.
+  template <class BytesFn>
+  void team_reduce(const Grid2d& grid, Phase phase, BytesFn&& bytes_of_team) {
+    team_collective(grid, phase, /*is_reduce=*/true, std::forward<BytesFn>(bytes_of_team));
+  }
+
+  /// A collective over ALL ranks moving `bytes` per rank (naive all-gather
+  /// baseline; may hit a hardware tree network if the model has one).
+  void whole_machine_collective(Phase phase, double bytes, bool is_reduce);
+
+  /// Tree collectives over arbitrary disjoint rank groups (used by the
+  /// Plimpton force decomposition, whose row and column broadcasts do not
+  /// match the Grid2d team layout). bytes_of_group(g) gives the payload.
+  template <class BytesFn>
+  void group_collective(const std::vector<std::vector<int>>& groups, Phase phase, bool is_reduce,
+                        BytesFn&& bytes_of_group) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& members = groups[g];
+      if (members.size() <= 1) continue;
+      double t0 = 0.0;
+      for (int r : members) t0 = std::max(t0, clock_[static_cast<std::size_t>(r)]);
+      const double w = bytes_of_group(static_cast<int>(g));
+      machine::CollectiveContext ctx{static_cast<int>(members.size()), w, p_,
+                                     static_cast<int>(members.size()) == p_};
+      const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      const double finish = t0 + t_coll;
+      if (trace_) trace_->record_collective(phase, is_reduce, members, static_cast<std::uint64_t>(w));
+      const auto msgs =
+          static_cast<std::uint64_t>(model_.collective_messages(static_cast<int>(members.size())));
+      for (int r : members) {
+        advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs,
+                static_cast<std::uint64_t>(w));
+        clock_[static_cast<std::size_t>(r)] = finish;
+      }
+    }
+  }
+
+  /// Global barrier: all clocks jump to the current maximum. No messages
+  /// are charged (we use it to delimit timesteps, not to model MPI_Barrier).
+  void synchronize(Phase phase = Phase::Other);
+
+ private:
+  template <class BytesFn>
+  void team_collective(const Grid2d& grid, Phase phase, bool is_reduce, BytesFn&& bytes_of_team) {
+    CANB_ASSERT(grid.size() == p_);
+    const int c = grid.rows();
+    if (c <= 1) return;
+    const int q = grid.cols();
+    const auto msgs = static_cast<std::uint64_t>(model_.collective_messages(c));
+    for (int col = 0; col < q; ++col) {
+      double t0 = 0.0;
+      for (int row = 0; row < c; ++row)
+        t0 = std::max(t0, clock_[static_cast<std::size_t>(grid.rank(row, col))]);
+      const double w = bytes_of_team(col);
+      machine::CollectiveContext ctx{c, w, p_, /*whole_partition=*/c == p_};
+      const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      const double finish = t0 + t_coll;
+      if (trace_) {
+        std::vector<int> members;
+        members.reserve(static_cast<std::size_t>(c));
+        for (int row = 0; row < c; ++row) members.push_back(grid.rank(row, col));
+        trace_->record_collective(phase, is_reduce, std::move(members),
+                                  static_cast<std::uint64_t>(w));
+      }
+      for (int row = 0; row < c; ++row) {
+        const int r = grid.rank(row, col);
+        advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs,
+                static_cast<std::uint64_t>(w));
+        clock_[static_cast<std::size_t>(r)] = finish;
+      }
+    }
+  }
+
+  void snapshot_clocks();
+
+  int p_;
+  machine::MachineModel model_;
+  CostLedger ledger_;
+  std::vector<double> clock_;
+  std::vector<double> scratch_;
+  TraceRecorder* trace_ = nullptr;
+  /// Topology used for hop-aware latency; set in the constructor when the
+  /// model requests it (alpha_hop > 0). Sized to exactly p ranks.
+  std::shared_ptr<const machine::Topology> hop_topology_;
+};
+
+}  // namespace canb::vmpi

@@ -1,0 +1,168 @@
+// Lower-bound formulas and the optimality certificates: the measured
+// ledgers of the CA algorithms must sit within a bounded constant factor of
+// the paper's lower bounds across the whole replication sweep.
+#include <gtest/gtest.h>
+
+#include "bounds/lower_bounds.hpp"
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "machine/presets.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::bounds;
+
+// --- formula sanity -------------------------------------------------------------
+
+TEST(Formulas, MemoryPerRank) {
+  EXPECT_DOUBLE_EQ(memory_per_rank(1000, 10, 1), 100.0);
+  EXPECT_DOUBLE_EQ(memory_per_rank(1000, 10, 5), 500.0);
+  EXPECT_THROW(memory_per_rank(0, 10, 1), PreconditionError);
+}
+
+TEST(Formulas, DirectBoundShrinksWithMemory) {
+  // Equation 2: more memory, less communication — the "lower" lower bound.
+  const auto m1 = direct_lower_bound(1 << 16, 1024, 64);
+  const auto m4 = direct_lower_bound(1 << 16, 1024, 256);
+  EXPECT_GT(m1.messages, m4.messages);
+  EXPECT_GT(m1.words, m4.words);
+  EXPECT_NEAR(m1.words / m4.words, 4.0, 1e-9);
+  EXPECT_NEAR(m1.messages / m4.messages, 16.0, 1e-9);
+}
+
+TEST(Formulas, CaCostMatchesEquation5Shape) {
+  const double n = 1 << 16;
+  const double p = 1024;
+  const auto c1 = ca_all_pairs_cost(n, p, 1);
+  const auto c4 = ca_all_pairs_cost(n, p, 4);
+  EXPECT_DOUBLE_EQ(c1.messages, p);
+  EXPECT_DOUBLE_EQ(c1.words, n);
+  EXPECT_DOUBLE_EQ(c4.messages, p / 16);
+  EXPECT_DOUBLE_EQ(c4.words, n / 4);
+}
+
+TEST(Formulas, CaCostMeetsLowerBoundExactlyInOrder) {
+  // Substituting M = c n / p into Eq 2 reproduces Eq 5 (paper Section
+  // III-B): S = p/c^2, W = n/c.
+  const double n = 1 << 18;
+  const double p = 4096;
+  for (double c : {1.0, 2.0, 8.0, 32.0, 64.0}) {
+    const auto bound = direct_lower_bound(n, p, memory_per_rank(n, p, c));
+    const auto cost = ca_all_pairs_cost(n, p, c);
+    EXPECT_NEAR(cost.messages / bound.messages, 1.0, 1e-9) << c;
+    EXPECT_NEAR(cost.words / bound.words, 1.0, 1e-9) << c;
+  }
+}
+
+TEST(Formulas, CutoffBoundAndCostAgree) {
+  // Section IV-B: with k = 2 m c n / p, the 1D algorithm meets Eq 3.
+  const double n = 1 << 16;
+  const double p = 1024;
+  for (double c : {1.0, 2.0, 4.0}) {
+    const double q = p / c;
+    const double m = q / 4;  // rc = l/4
+    const double k = 2.0 * m * c * n / p;
+    const auto bound = cutoff_lower_bound(n, p, memory_per_rank(n, p, c), k);
+    const auto cost = ca_cutoff_cost(n, p, c, m);
+    EXPECT_NEAR(cost.messages / bound.messages, 1.0, 1e-9) << c;
+    EXPECT_NEAR(cost.words / bound.words, 1.0, 1e-9) << c;
+  }
+}
+
+TEST(Formulas, BaselineCosts) {
+  const auto pd = particle_decomposition_cost(1000, 100);
+  EXPECT_DOUBLE_EQ(pd.messages, 100);
+  EXPECT_DOUBLE_EQ(pd.words, 1000);
+  const auto fd = force_decomposition_cost(1024, 256);
+  EXPECT_DOUBLE_EQ(fd.messages, 8.0);  // log2(256)
+  EXPECT_DOUBLE_EQ(fd.words, 2.0 * 1024 / 16);
+}
+
+TEST(Formulas, InteractionsPerParticle1d) {
+  EXPECT_DOUBLE_EQ(interactions_per_particle_1d(1000, 0.25, 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(interactions_per_particle_1d(1000, 2.0, 1.0), 1000.0);  // capped
+}
+
+TEST(Formulas, SerialTimeScalesQuadratically) {
+  const auto m = machine::hopper();
+  const double t1 = model_serial_seconds(m, 1000);
+  const double t2 = model_serial_seconds(m, 2000);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.02);
+}
+
+// --- measured optimality: all-pairs ------------------------------------------------
+
+class AllPairsOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllPairsOptimality, MeasuredWithinConstantOfBound) {
+  const int c = GetParam();
+  const int p = 64;
+  const std::uint64_t per_team = 16;  // n = 16 * p / c
+  const double n = static_cast<double>(per_team) * p / c;
+  core::PhantomPolicy policy({0.0, false});
+  core::CaAllPairs<core::PhantomPolicy> engine(
+      {p, c, machine::hopper()}, policy,
+      std::vector<core::PhantomBlock>(static_cast<std::size_t>(p / c), {per_team}));
+  engine.run(4);
+  const auto rep = check_all_pairs_optimality(engine.comm().ledger(), 4, n, p, c);
+  // Communication-optimal: within a small constant of the lower bound, and
+  // never below it by more than the collective log factor.
+  EXPECT_LT(rep.word_ratio, 4.0) << "W too far above the bound at c=" << c;
+  EXPECT_GT(rep.word_ratio, 0.5) << "W below the lower bound: accounting bug? c=" << c;
+  EXPECT_LT(rep.message_ratio, 16.0) << c;  // log-factor slack at large c
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllPairsOptimality, ::testing::Values(1, 2, 4, 8),
+                         ::testing::PrintToStringParamName());
+
+// --- measured optimality: cutoff ------------------------------------------------------
+
+class CutoffOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffOptimality, MeasuredWithinConstantOfBound) {
+  const int c = GetParam();
+  const int q = 64 / c;
+  const int p = 64;
+  const int m = q / 4;
+  const std::uint64_t per_team = 16;
+  const double n = static_cast<double>(per_team) * q;
+  core::PhantomPolicy policy({0.0, false});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {p, c, machine::hopper(), core::CutoffGeometry::make_1d(q, m), /*periodic=*/true}, policy,
+      std::vector<core::PhantomBlock>(static_cast<std::size_t>(q), {per_team}));
+  engine.run(4);
+  const double k = (2.0 * m + 1.0) * static_cast<double>(per_team);
+  const auto rep = check_cutoff_optimality(engine.comm().ledger(), 4, n, p, c, k);
+  EXPECT_LT(rep.word_ratio, 4.0) << c;
+  EXPECT_GT(rep.word_ratio, 0.4) << c;
+  EXPECT_LT(rep.message_ratio, 16.0) << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CutoffOptimality, ::testing::Values(1, 2, 4),
+                         ::testing::PrintToStringParamName());
+
+// --- the c-scaling law end to end ---------------------------------------------------
+
+TEST(ScalingLaw, MeasuredBytesFollowInverseC) {
+  // W_measured(c) / W_measured(2c) ~ 2 across the sweep (Equation 5).
+  // n is held fixed at 1024, so per-team counts grow with c.
+  const int p = 256;
+  std::vector<double> bytes;
+  for (int c : {1, 2, 4, 8}) {
+    core::PhantomPolicy policy({0.0, true});
+    core::CaAllPairs<core::PhantomPolicy> engine(
+        {p, c, machine::hopper()}, policy,
+        std::vector<core::PhantomBlock>(static_cast<std::size_t>(p / c),
+                                        {static_cast<std::uint64_t>(4 * c)}));
+    engine.step();
+    bytes.push_back(static_cast<double>(engine.comm().ledger().critical_bytes()));
+  }
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    EXPECT_GE(bytes[i] / bytes[i + 1], 1.45);
+    EXPECT_LT(bytes[i] / bytes[i + 1], 3.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// CA cutoff engine (Algorithm 2 + the Section IV-C 2D generalization):
+// physics vs the serial reference, spatial re-assignment invariants,
+// boundary load imbalance, and phantom/real ledger agreement.
+#include <gtest/gtest.h>
+
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/diagnostics.hpp"
+#include "particles/init.hpp"
+#include "particles/reference.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Block;
+using particles::Box;
+using particles::InverseSquareRepulsion;
+using Policy = core::RealPolicy<InverseSquareRepulsion>;
+using Engine = core::CaCutoff<Policy>;
+
+constexpr double kCutoff = 0.25;
+
+Engine make_1d(const Block& all, int q, int c, double dt = 1e-4,
+               particles::Boundary bc = particles::Boundary::Reflective) {
+  Box box = Box::reflective_1d(1.0);
+  box.boundary = bc;
+  const int m = core::window_radius_teams(kCutoff, box.lx, q);
+  Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, kCutoff, dt});
+  return Engine({q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m),
+                 bc == particles::Boundary::Periodic},
+                std::move(policy), decomp::split_spatial_1d(all, box, q));
+}
+
+Engine make_2d(const Block& all, int qx, int qy, int c, double dt = 1e-4,
+               particles::Boundary bc = particles::Boundary::Reflective) {
+  Box box = Box::reflective_2d(1.0);
+  box.boundary = bc;
+  const int mx = core::window_radius_teams(kCutoff, box.lx, qx);
+  const int my = core::window_radius_teams(kCutoff, box.ly, qy);
+  Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, kCutoff, dt});
+  return Engine({qx * qy * c, c, machine::laptop(),
+                 core::CutoffGeometry::make_2d(qx, qy, mx, my),
+                 bc == particles::Boundary::Periodic},
+                std::move(policy), decomp::split_spatial_2d(all, box, qx, qy));
+}
+
+Block gather(const Engine& e) {
+  auto all = decomp::concat(e.team_results());
+  particles::sort_by_id(all);
+  return all;
+}
+
+Block reference_step(const Block& init, const Box& box, double dt, int steps) {
+  particles::SerialReference<InverseSquareRepulsion> ref(
+      init, {box, InverseSquareRepulsion{1e-4, 1e-2}, dt, kCutoff});
+  ref.run(steps);
+  Block want = ref.particles();
+  particles::sort_by_id(want);
+  return want;
+}
+
+// --- 1D correctness sweep ---------------------------------------------------
+
+struct Param1d {
+  int n;
+  int q;
+  int c;
+  bool periodic = false;
+};
+
+class Cutoff1d : public ::testing::TestWithParam<Param1d> {};
+
+TEST_P(Cutoff1d, MatchesSerialReference) {
+  const auto [n, q, c, periodic] = GetParam();
+  Box box = Box::reflective_1d(1.0);
+  box.boundary = periodic ? particles::Boundary::Periodic : particles::Boundary::Reflective;
+  const auto init = particles::init_uniform(n, box, 21, 0.01);
+
+  auto engine = make_1d(init, q, c, 1e-4, box.boundary);
+  engine.step();
+  const Block got = gather(engine);
+  const Block want = reference_step(init, box, 1e-4, 1);
+
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_LT(particles::max_force_deviation(got, want), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Cutoff1d,
+                         ::testing::Values(Param1d{48, 8, 1}, Param1d{48, 8, 2},
+                                           Param1d{48, 8, 4}, Param1d{96, 16, 1},
+                                           Param1d{96, 16, 4}, Param1d{96, 16, 8},
+                                           Param1d{64, 12, 3}, Param1d{120, 20, 5},
+                                           Param1d{48, 8, 1, true}, Param1d{48, 8, 4, true},
+                                           Param1d{96, 16, 8, true}, Param1d{72, 12, 2, true},
+                                           Param1d{200, 24, 6}, Param1d{56, 8, 3}),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "_q" +
+                                  std::to_string(pinfo.param.q) + "_c" +
+                                  std::to_string(pinfo.param.c) +
+                                  (pinfo.param.periodic ? "_periodic" : "");
+                         });
+
+// --- 2D correctness sweep ---------------------------------------------------
+
+struct Param2d {
+  int n;
+  int qx;
+  int qy;
+  int c;
+};
+
+class Cutoff2d : public ::testing::TestWithParam<Param2d> {};
+
+TEST_P(Cutoff2d, MatchesSerialReference) {
+  const auto [n, qx, qy, c] = GetParam();
+  const Box box = Box::reflective_2d(1.0);
+  const auto init = particles::init_uniform(n, box, 31, 0.01);
+
+  auto engine = make_2d(init, qx, qy, c);
+  engine.step();
+  const Block got = gather(engine);
+  const Block want = reference_step(init, box, 1e-4, 1);
+
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_LT(particles::max_force_deviation(got, want), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Cutoff2d,
+                         ::testing::Values(Param2d{64, 4, 4, 1}, Param2d{64, 4, 4, 2},
+                                           Param2d{64, 4, 4, 4}, Param2d{128, 8, 4, 2},
+                                           Param2d{128, 8, 8, 3}, Param2d{96, 4, 8, 2},
+                                           Param2d{200, 8, 8, 9}),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "_q" +
+                                  std::to_string(pinfo.param.qx) + "x" +
+                                  std::to_string(pinfo.param.qy) + "_c" +
+                                  std::to_string(pinfo.param.c);
+                         });
+
+// --- multi-step with re-assignment -----------------------------------------
+
+TEST(CutoffReassign, TrajectoryTracksReferenceAcrossMigrations) {
+  const int n = 80;
+  const Box box = Box::reflective_1d(1.0);
+  // High enough speed that particles cross team boundaries within a few
+  // steps (team width 1/8 = 0.125, dt*steps*v ~ 0.02-0.1).
+  const auto init = particles::init_uniform(n, box, 17, 2.0);
+
+  auto engine = make_1d(init, 8, 2, 5e-3);
+  engine.run(10);
+  const Block got = gather(engine);
+  const Block want = reference_step(init, box, 5e-3, 10);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_LT(particles::max_position_deviation(got, want), 1e-3);
+}
+
+TEST(CutoffReassign, TeamsOwnOnlyTheirRegionAfterSteps) {
+  const int n = 100;
+  const Box box = Box::reflective_2d(1.0);
+  const auto init = particles::init_uniform(n, box, 23, 2.0);
+  auto engine = make_2d(init, 4, 4, 2, 5e-3);
+  engine.run(5);
+  const auto blocks = engine.team_results();
+  int total = 0;
+  for (int t = 0; t < 16; ++t) {
+    for (const auto& p : blocks[static_cast<std::size_t>(t)]) {
+      EXPECT_EQ(decomp::team_of_2d(p, box, 4, 4), t) << "particle " << p.id << " misplaced";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+// --- boundary load imbalance (Section IV-D2) -------------------------------
+
+TEST(CutoffImbalance, ReflectiveBoundariesIdleEdgeRanks) {
+  // Under reflective boundaries edge teams see clipped windows, so their
+  // compute time is lower; the ledger imbalance factor must exceed 1.
+  const int n = 512;
+  const Box box = Box::reflective_1d(1.0);
+  const auto init = particles::init_uniform(n, box, 3, 0.0);
+  auto engine = make_1d(init, 16, 2);
+  engine.step();
+  const auto per_rank = engine.comm().ledger().per_rank_seconds();
+  EXPECT_GT(imbalance_factor(per_rank), 1.02);
+
+  // Periodic boundaries see full windows everywhere: near-balanced.
+  auto periodic = make_1d(init, 16, 2, 1e-4, particles::Boundary::Periodic);
+  periodic.step();
+  const auto per_rank_periodic = periodic.comm().ledger().per_rank_seconds();
+  EXPECT_LT(imbalance_factor(per_rank_periodic), imbalance_factor(per_rank));
+}
+
+// --- validation --------------------------------------------------------------
+
+TEST(CutoffValidation, RejectsReplicationBeyondWindow) {
+  const Box box = Box::reflective_1d(1.0);
+  const auto init = particles::init_uniform(32, box, 1);
+  // q=8, m=2 -> window = 5; c=8 > 5 must throw.
+  EXPECT_THROW(make_1d(init, 8, 8), PreconditionError);
+  EXPECT_NO_THROW(make_1d(init, 8, 4));
+  EXPECT_TRUE(vmpi::valid_cutoff_replication(16, 4, 2));
+  EXPECT_FALSE(vmpi::valid_cutoff_replication(16, 8, 2));
+}
+
+// --- phantom ledger equality -------------------------------------------------
+
+TEST(CutoffPhantom, LedgerMatchesRealWhenNothingMigrates) {
+  const int n = 96;
+  const int q = 8;
+  const int c = 2;
+  const Box box = Box::reflective_1d(1.0);
+  const auto init = particles::init_uniform(n, box, 9, 0.0);  // zero velocity
+
+  auto real_engine = make_1d(init, q, c);
+  real_engine.step();
+
+  const int m = core::window_radius_teams(kCutoff, box.lx, q);
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.0, /*bulk=*/false});
+  std::vector<core::PhantomBlock> blocks;
+  for (const auto& b : decomp::split_spatial_1d(init, box, q)) blocks.push_back({b.size()});
+  core::CaCutoff<core::PhantomPolicy> phantom(
+      {q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), false}, policy,
+      std::move(blocks));
+  phantom.step();
+
+  const auto& lr = real_engine.comm().ledger();
+  const auto& lp = phantom.comm().ledger();
+  EXPECT_EQ(lr.critical_messages(), lp.critical_messages());
+  EXPECT_EQ(lr.critical_bytes(), lp.critical_bytes());
+  EXPECT_NEAR(real_engine.comm().max_clock(), phantom.comm().max_clock(), 1e-12);
+}
+
+// --- communication scales with m/c -------------------------------------------
+
+TEST(CutoffScaling, ShiftMessagesShrinkWithC) {
+  const int n = 256;
+  const Box box = Box::reflective_1d(1.0);
+  const auto init = particles::init_uniform(n, box, 13, 0.0);
+  std::uint64_t prev = ~0ULL;
+  for (int c : {1, 2, 4}) {
+    auto engine = make_1d(init, 16, c);
+    engine.step();
+    const auto breakdown = engine.comm().ledger().critical_breakdown();
+    const auto shift = breakdown[static_cast<std::size_t>(vmpi::Phase::Shift)];
+    EXPECT_LT(shift.messages, prev);
+    prev = shift.messages;
+  }
+}
+
+}  // namespace

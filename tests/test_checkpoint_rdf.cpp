@@ -1,0 +1,105 @@
+// Checkpoint/restart round trips and the radial distribution function.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "particles/diagnostics.hpp"
+#include "particles/init.hpp"
+#include "sim/checkpoint.hpp"
+#include "support/assert.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Block;
+using particles::Box;
+
+// --- checkpoint -----------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripsBitwise) {
+  const std::string path = "/tmp/canb_test_cp.canb";
+  const auto ps = particles::init_uniform(33, Box::reflective_2d(1.0), 17, 0.5);
+  sim::save_checkpoint(path, {42, 0.042, ps});
+  const auto cp = sim::load_checkpoint(path);
+  EXPECT_EQ(cp.step, 42);
+  EXPECT_DOUBLE_EQ(cp.time, 0.042);
+  ASSERT_EQ(cp.particles.size(), ps.size());
+  EXPECT_EQ(std::memcmp(cp.particles.data(), ps.data(), ps.size() * sizeof(particles::Particle)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptyBlockIsValid) {
+  const std::string path = "/tmp/canb_test_cp_empty.canb";
+  sim::save_checkpoint(path, {0, 0.0, {}});
+  const auto cp = sim::load_checkpoint(path);
+  EXPECT_TRUE(cp.particles.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(sim::load_checkpoint("/tmp/canb_does_not_exist.canb"), PreconditionError);
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  const std::string path = "/tmp/canb_test_cp_bad.canb";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a checkpoint file at all, padded to header size....";
+  }
+  EXPECT_THROW(sim::load_checkpoint(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedPayload) {
+  const std::string path = "/tmp/canb_test_cp_trunc.canb";
+  const auto ps = particles::init_uniform(10, Box::reflective_2d(1.0), 1);
+  sim::save_checkpoint(path, {1, 0.1, ps});
+  // Chop the last 20 bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 20));
+  }
+  EXPECT_THROW(sim::load_checkpoint(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+// --- radial distribution ----------------------------------------------------------
+
+TEST(Rdf, IdealGasIsFlatNearOne) {
+  const Box box = Box::periodic_2d(1.0);
+  const auto ps = particles::init_uniform(2000, box, 3);
+  const auto g = particles::radial_distribution(std::span<const particles::Particle>(ps), box,
+                                                0.3, 6);
+  ASSERT_EQ(g.size(), 6u);
+  for (std::size_t b = 1; b < g.size(); ++b) {  // skip the noisy first shell
+    EXPECT_NEAR(g[b], 1.0, 0.15) << b;
+  }
+}
+
+TEST(Rdf, ClusteredGasPeaksAtShortRange) {
+  const Box box = Box::periodic_2d(1.0);
+  const auto ps = particles::init_clusters(1000, box, 5, 0.01, 7);
+  const auto g = particles::radial_distribution(std::span<const particles::Particle>(ps), box,
+                                                0.3, 6);
+  EXPECT_GT(g[0], 5.0);               // strong contact peak
+  EXPECT_GT(g[0], g[5] * 3.0);        // decaying outward
+}
+
+TEST(Rdf, HandlesDegenerateInput) {
+  const Box box = Box::periodic_2d(1.0);
+  Block one(1);
+  const auto g = particles::radial_distribution(std::span<const particles::Particle>(one), box,
+                                                0.3, 4);
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_THROW(particles::radial_distribution(std::span<const particles::Particle>(one), box,
+                                              -1.0, 4),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Machine models: collective cost models, topology hop math, presets.
+#include <gtest/gtest.h>
+
+#include "machine/collective_model.hpp"
+#include "machine/machine_model.hpp"
+#include "machine/presets.hpp"
+#include "machine/topology.hpp"
+#include "support/assert.hpp"
+
+namespace {
+
+using namespace canb;
+using namespace canb::machine;
+
+// --- collective models --------------------------------------------------------
+
+TEST(Collectives, IdealLogTreeScalesLogarithmically) {
+  auto model = make_ideal_log_tree(1e-6, 1e-9);
+  const CollectiveContext c2{2, 1000, 1024, false};
+  const CollectiveContext c16{16, 1000, 1024, false};
+  EXPECT_DOUBLE_EQ(model->broadcast_time(c16), 4.0 * model->broadcast_time(c2));
+  EXPECT_DOUBLE_EQ(model->broadcast_time(c2), model->reduce_time(c2));
+  EXPECT_EQ(model->critical_messages(16), 4);
+  EXPECT_EQ(model->critical_messages(1), 0);
+}
+
+TEST(Collectives, SingleMemberCollectiveIsFree) {
+  auto model = make_ideal_log_tree(1e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(model->broadcast_time({1, 1e6, 1024, false}), 0.0);
+}
+
+TEST(Collectives, SaturatingTreeGrowsWithMachineScale) {
+  auto model = make_saturating_tree(1e-6, 1e-9, 0.02, 1024);
+  const CollectiveContext small{16, 1000, 1024, false};
+  const CollectiveContext big{16, 1000, 16384, false};
+  // Same team size, bigger machine: more contention.
+  EXPECT_GT(model->broadcast_time(big), model->broadcast_time(small));
+  // Contention term is quadratic in machine scale.
+  const CollectiveContext mid{16, 1000, 2048, false};
+  const double extra_mid = model->broadcast_time(mid) - model->broadcast_time(small);
+  const double ideal16 = make_ideal_log_tree(1e-6, 1e-9)->broadcast_time(small);
+  (void)ideal16;
+  const double extra_big = model->broadcast_time(big) - model->broadcast_time(small);
+  EXPECT_GT(extra_big, 10.0 * extra_mid);
+}
+
+TEST(Collectives, SaturatingTreeMakesIntermediateCOptimal) {
+  // The crossover mechanism of Fig. 2b: per-step reduce cost rises with c
+  // while shift cost falls as 1/c^2; the sum is minimized at an interior c.
+  auto model = make_saturating_tree(8e-6, 1.7e-10, 0.02, 1024);
+  const int p = 24576;
+  const double n = 196608;
+  auto total_comm = [&](int c) {
+    const double w = c * n / p * 52.0;
+    const double shifts = (static_cast<double>(p) / (c * c)) * (8e-6 + 1.7e-10 * w);
+    return shifts + 2 * model->reduce_time({c, w, p, false});
+  };
+  const double t1 = total_comm(1);
+  const double t16 = total_comm(16);
+  const double t64 = total_comm(64);
+  EXPECT_LT(t16, t1);
+  EXPECT_LT(t16, t64);
+}
+
+TEST(Collectives, HardwareTreeOnlyHelpsWholePartition) {
+  auto fallback = make_saturating_tree(1e-6, 1e-9, 0.02, 1024);
+  auto tree = make_hardware_tree(5e-6, 3.5e-8, fallback);
+  const CollectiveContext partial{64, 1e6, 32768, false};
+  const CollectiveContext whole{32768, 1e6, 32768, true};
+  EXPECT_DOUBLE_EQ(tree->broadcast_time(partial), fallback->broadcast_time(partial));
+  EXPECT_LT(tree->broadcast_time(whole), fallback->broadcast_time(whole));
+  EXPECT_NEAR(tree->broadcast_time(whole), 5e-6 + 3.5e-8 * 1e6, 1e-12);
+}
+
+// --- topology -------------------------------------------------------------------
+
+TEST(Topology, RingHopsWrapAround) {
+  const auto t = Topology::ring(10);
+  EXPECT_EQ(t.hops(0, 1), 1);
+  EXPECT_EQ(t.hops(0, 9), 1);
+  EXPECT_EQ(t.hops(0, 5), 5);
+  EXPECT_EQ(t.hops(2, 2), 0);
+  EXPECT_EQ(t.diameter(), 5);
+}
+
+TEST(Topology, Torus3dHopsAreManhattanWithWrap) {
+  const auto t = Topology::torus3d(4, 4, 4);
+  EXPECT_EQ(t.size(), 64);
+  EXPECT_EQ(t.hops(0, 1), 1);          // +x neighbor
+  EXPECT_EQ(t.hops(0, 3), 1);          // wrap in x
+  EXPECT_EQ(t.hops(0, 4), 1);          // +y neighbor
+  EXPECT_EQ(t.hops(0, 16), 1);         // +z neighbor
+  EXPECT_EQ(t.hops(0, 1 + 4 + 16), 3); // diagonal
+  EXPECT_EQ(t.diameter(), 6);
+}
+
+TEST(Topology, BalancedTorusCoversAllRanks) {
+  for (int p : {8, 24, 64, 100, 24576, 32768}) {
+    const auto t = Topology::balanced_torus3d(p);
+    EXPECT_EQ(t.size(), p) << p;
+  }
+}
+
+TEST(Topology, FullyConnectedHasUnitHops) {
+  const auto t = Topology::fully_connected(5);
+  EXPECT_EQ(t.hops(0, 4), 1);
+  EXPECT_EQ(t.hops(3, 3), 0);
+  EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(Topology, RejectsOutOfRangeRanks) {
+  const auto t = Topology::ring(4);
+  EXPECT_THROW(t.hops(0, 4), PreconditionError);
+}
+
+// --- machine model ----------------------------------------------------------------
+
+TEST(MachineModel, PointToPointCost) {
+  MachineModel m;
+  m.alpha = 1e-6;
+  m.beta = 1e-9;
+  m.collectives = make_ideal_log_tree(1e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(m.p2p_time(1000), 1e-6 + 1e-6);
+  m.shift_beta_factor = 0.5;
+  EXPECT_DOUBLE_EQ(m.shift_time(1000), 1e-6 + 0.5e-6);
+  EXPECT_DOUBLE_EQ(m.compute_time(100), 100 * m.gamma);
+}
+
+TEST(MachineModel, ValidateCatchesMissingCollectives) {
+  MachineModel m;
+  m.collectives = nullptr;
+  EXPECT_THROW(m.validate(), PreconditionError);
+}
+
+// --- presets -----------------------------------------------------------------------
+
+TEST(Presets, AllPresetsValidate) {
+  EXPECT_NO_THROW(hopper().validate());
+  EXPECT_NO_THROW(intrepid().validate());
+  EXPECT_NO_THROW(intrepid(true).validate());
+  EXPECT_NO_THROW(laptop().validate());
+  EXPECT_NO_THROW(with_ideal_collectives(hopper()).validate());
+}
+
+TEST(Presets, IntrepidIsSlowerThanHopper) {
+  // BlueGene/P cores run at 850 MHz vs Hopper's 2.1 GHz Opterons; the
+  // calibrated per-interaction time must reflect that.
+  EXPECT_GT(intrepid().gamma, hopper().gamma);
+  EXPECT_GT(intrepid().beta, hopper().beta);
+}
+
+TEST(Presets, IntrepidTorusShiftsExploitBidirectionality) {
+  EXPECT_DOUBLE_EQ(intrepid(false, true).shift_beta_factor, 0.5);
+  EXPECT_DOUBLE_EQ(intrepid(false, false).shift_beta_factor, 1.0);
+}
+
+TEST(Presets, IdealCollectivesRemoveContention) {
+  const auto real = hopper();
+  const auto ideal = with_ideal_collectives(hopper());
+  const CollectiveContext big_team{64, 26624, 24576, false};
+  EXPECT_GT(real.reduce_time(big_team), 10.0 * ideal.reduce_time(big_team));
+}
+
+}  // namespace

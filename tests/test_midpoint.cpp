@@ -1,0 +1,163 @@
+// The midpoint method (Section II-D): physics vs the serial reference and
+// its import-volume advantage over the plain halo exchange.
+#include <gtest/gtest.h>
+
+#include "core/midpoint.hpp"
+#include "core/spatial_halo.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/diagnostics.hpp"
+#include "particles/init.hpp"
+#include "particles/reference.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Block;
+using particles::Box;
+using particles::InverseSquareRepulsion;
+using Policy = core::RealPolicy<InverseSquareRepulsion>;
+using Engine = core::MidpointMethod<InverseSquareRepulsion>;
+
+constexpr double kCutoff = 0.25;
+
+Engine make_1d(const Block& all, int q, particles::Boundary bc = particles::Boundary::Reflective) {
+  Box box = Box::reflective_1d(1.0);
+  box.boundary = bc;
+  const int m = core::window_radius_teams(kCutoff, box.lx, q);
+  Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, kCutoff, 1e-4});
+  return Engine({q, machine::laptop(), core::CutoffGeometry::make_1d(q, m),
+                 bc == particles::Boundary::Periodic},
+                std::move(policy), decomp::split_spatial_1d(all, box, q));
+}
+
+Block gather(std::vector<Block> blocks) {
+  auto all = decomp::concat(blocks);
+  particles::sort_by_id(all);
+  return all;
+}
+
+struct Param {
+  int n;
+  int q;
+  bool periodic;
+};
+
+class Midpoint1d : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Midpoint1d, MatchesSerialReference) {
+  const auto [n, q, periodic] = GetParam();
+  Box box = Box::reflective_1d(1.0);
+  box.boundary = periodic ? particles::Boundary::Periodic : particles::Boundary::Reflective;
+  const auto init = particles::init_uniform(n, box, 61, 0.01);
+  auto engine = make_1d(init, q, box.boundary);
+  engine.step();
+  const auto got = gather(engine.team_results());
+
+  particles::SerialReference<InverseSquareRepulsion> ref(
+      init, {box, InverseSquareRepulsion{1e-4, 1e-2}, 1e-4, kCutoff});
+  ref.step();
+  auto want = ref.particles();
+  particles::sort_by_id(want);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_LT(particles::max_force_deviation(got, want), 3e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Midpoint1d,
+                         ::testing::Values(Param{64, 8, false}, Param{96, 12, false},
+                                           Param{96, 16, false}, Param{64, 8, true},
+                                           Param{120, 16, true}),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "_q" +
+                                  std::to_string(pinfo.param.q) +
+                                  (pinfo.param.periodic ? "_periodic" : "_reflective");
+                         });
+
+TEST(Midpoint2d, MatchesSerialReference) {
+  const Box box = Box::reflective_2d(1.0);
+  const auto init = particles::init_uniform(150, box, 67, 0.01);
+  const int qx = 6;
+  const int qy = 6;
+  const int m = core::window_radius_teams(kCutoff, 1.0, qx);
+  Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, kCutoff, 1e-4});
+  Engine engine({qx * qy, machine::laptop(), core::CutoffGeometry::make_2d(qx, qy, m, m), false},
+                std::move(policy), decomp::split_spatial_2d(init, box, qx, qy));
+  engine.step();
+  const auto got = gather(engine.team_results());
+
+  particles::SerialReference<InverseSquareRepulsion> ref(
+      init, {box, InverseSquareRepulsion{1e-4, 1e-2}, 1e-4, kCutoff});
+  ref.step();
+  auto want = ref.particles();
+  particles::sort_by_id(want);
+  EXPECT_LT(particles::max_force_deviation(got, want), 3e-4);
+}
+
+TEST(Midpoint, MultiStepTrajectoryWithReassignment) {
+  const Box box = Box::reflective_1d(1.0);
+  const auto init = particles::init_uniform(64, box, 71, 2.0);
+  auto engine = make_1d(init, 8);
+  engine.run(8);
+  const auto got = gather(engine.team_results());
+
+  particles::SerialReference<InverseSquareRepulsion> ref(
+      init, {box, InverseSquareRepulsion{1e-4, 1e-2}, 1e-4, kCutoff});
+  ref.run(8);
+  auto want = ref.particles();
+  particles::sort_by_id(want);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_LT(particles::max_position_deviation(got, want), 1e-3);
+}
+
+TEST(Midpoint, ImportRegionIsRoughlyHalfTheHaloExchange) {
+  // The method's claim: the import volume per phase is about half the full
+  // halo radius. Compare per-step Shift-phase bytes against SpatialHalo on
+  // an identical configuration (wide window so the +1 slack is small).
+  const int q = 64;
+  const int m = 16;
+  const Box box = Box::periodic_1d(1.0);
+  const auto init = particles::init_lattice(512, box, 0.5, 3);
+  Policy mp_policy({box, InverseSquareRepulsion{1e-4, 1e-2}, m / static_cast<double>(q), 1e-4});
+  Engine mid({q, machine::laptop(), core::CutoffGeometry::make_1d(q, m), true},
+             std::move(mp_policy), decomp::split_spatial_1d(init, box, q));
+  mid.step();
+  Policy halo_policy({box, InverseSquareRepulsion{1e-4, 1e-2}, m / static_cast<double>(q), 1e-4});
+  core::SpatialHaloDecomposition<Policy> halo(
+      {q, machine::laptop(), core::CutoffGeometry::make_1d(q, m), true},
+      std::move(halo_policy), decomp::split_spatial_1d(init, box, q));
+  halo.step();
+
+  const auto shift_bytes = [](const vmpi::VirtualComm& vc) {
+    return static_cast<double>(
+        vc.ledger().critical_breakdown()[static_cast<std::size_t>(vmpi::Phase::Shift)].bytes);
+  };
+  const double ratio = shift_bytes(mid.comm()) / shift_bytes(halo.comm());
+  EXPECT_LT(ratio, 0.65);   // ~ (m/2 + 1) / m
+  EXPECT_GT(ratio, 0.45);
+}
+
+TEST(Midpoint, AvailableThroughTheFacade) {
+  using Sim = sim::Simulation<InverseSquareRepulsion>;
+  Sim::Config cfg;
+  cfg.method = sim::Method::Midpoint;
+  cfg.p = 16;
+  cfg.machine = machine::laptop();
+  cfg.box = Box::reflective_2d(1.0);
+  cfg.kernel = InverseSquareRepulsion{1e-4, 1e-2};
+  cfg.cutoff = 0.2;
+  cfg.dt = 1e-4;
+  const auto init = particles::init_uniform(64, cfg.box, 77, 0.01);
+  Sim s(cfg, init);
+  s.step();
+  auto got = s.gather();
+
+  particles::SerialReference<InverseSquareRepulsion> ref(init,
+                                                         {cfg.box, cfg.kernel, cfg.dt, 0.2});
+  ref.step();
+  auto want = ref.particles();
+  particles::sort_by_id(want);
+  EXPECT_LT(particles::max_force_deviation(got, want), 3e-4);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Host thread pool: correctness, determinism, and bitwise-identical
+// engine results across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/policy.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/init.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace canb;
+
+// --- pool unit tests ------------------------------------------------------------
+
+TEST(ThreadPool, SerialModeRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  int sum = 0;
+  pool.parallel_for(0, 100, [&](int i) { sum += i; });  // inline: no data race
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  std::mutex m;
+  pool.parallel_for(5, 5, [&](int) {
+    std::lock_guard<std::mutex> l(m);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](int i) {
+    std::lock_guard<std::mutex> l(m);
+    calls += i;
+  });
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 64, [&](int i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50ll * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, ChunkedVariantPartitionsContiguously) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<int, int>> chunks;
+  pool.parallel_for_chunks(0, 103, [&](int b, int e) {
+    std::lock_guard<std::mutex> l(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  int expected_begin = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LT(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 103);
+}
+
+// --- engine determinism across thread counts --------------------------------------
+
+TEST(ThreadPool, EngineResultsBitwiseIdenticalAcrossThreadCounts) {
+  using Policy = core::RealPolicy<particles::InverseSquareRepulsion>;
+  const auto box = particles::Box::reflective_2d(1.0);
+  const auto init = particles::init_uniform(96, box, 123, 0.02);
+
+  auto run_with = [&](int threads) {
+    Policy policy({box, particles::InverseSquareRepulsion{1e-4, 1e-2}, 0.0, 1e-4});
+    core::CaAllPairs<Policy> engine({16, 2, machine::laptop()}, std::move(policy),
+                                    decomp::split_even(init, 8));
+    if (threads > 1) engine.set_host_pool(std::make_shared<ThreadPool>(threads));
+    engine.run(5);
+    auto all = decomp::concat(engine.team_results());
+    particles::sort_by_id(all);
+    return all;
+  };
+
+  const auto serial = run_with(1);
+  for (int threads : {2, 4}) {
+    const auto parallel = run_with(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bitwise: each virtual rank's arithmetic is untouched by threading.
+      EXPECT_EQ(parallel[i].px, serial[i].px) << i;
+      EXPECT_EQ(parallel[i].py, serial[i].py) << i;
+      EXPECT_EQ(parallel[i].vx, serial[i].vx) << i;
+      EXPECT_EQ(parallel[i].fx, serial[i].fx) << i;
+    }
+  }
+}
+
+TEST(ThreadPool, LedgerIdenticalAcrossThreadCounts) {
+  using Policy = core::RealPolicy<particles::InverseSquareRepulsion>;
+  const auto box = particles::Box::reflective_2d(1.0);
+  const auto init = particles::init_uniform(64, box, 9, 0.0);
+
+  auto run_with = [&](int threads) {
+    Policy policy({box, particles::InverseSquareRepulsion{1e-4, 1e-2}, 0.0, 1e-4});
+    core::CaAllPairs<Policy> engine({16, 4, machine::laptop()}, std::move(policy),
+                                    decomp::split_even(init, 4));
+    if (threads > 1) engine.set_host_pool(std::make_shared<ThreadPool>(threads));
+    engine.step();
+    return std::pair{engine.comm().max_clock(), engine.comm().ledger().critical_bytes()};
+  };
+  const auto [clock1, bytes1] = run_with(1);
+  const auto [clock4, bytes4] = run_with(4);
+  EXPECT_EQ(clock1, clock4);
+  EXPECT_EQ(bytes1, bytes4);
+}
+
+}  // namespace

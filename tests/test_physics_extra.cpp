@@ -1,0 +1,237 @@
+// Extended physics coverage: the additional kernels (Yukawa, Morse),
+// the leapfrog integrator, trajectory I/O round trips, and
+// energy-conservation properties through the *distributed* engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/ca_all_pairs.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/diagnostics.hpp"
+#include "particles/init.hpp"
+#include "particles/reference.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trajectory.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Block;
+using particles::Box;
+using particles::Particle;
+
+// --- Yukawa -------------------------------------------------------------------
+
+TEST(Yukawa, ScreeningSuppressesLongRange) {
+  const particles::Yukawa k{1.0, 0.1, 0.0};
+  Particle a;
+  Particle b;
+  b.id = 1;
+  const auto near_f = k.force(0.1, 0.0, 0.01, a, b);
+  const auto far_f = k.force(1.0, 0.0, 1.0, a, b);
+  // Coulomb would decay 100x; screening makes it astronomically more.
+  EXPECT_GT(near_f.fx / (far_f.fx + 1e-300), 1e4);
+}
+
+TEST(Yukawa, ReducesToCoulombAtLargeScreeningLength) {
+  const particles::Yukawa yk{1.0, 1e6, 0.0};
+  const particles::InverseSquareRepulsion coul{1.0, 0.0};
+  Particle a;
+  Particle b;
+  b.id = 1;
+  const auto fy = yk.force(0.5, 0.0, 0.25, a, b);
+  const auto fc = coul.force(0.5, 0.0, 0.25, a, b);
+  EXPECT_NEAR(fy.fx, fc.fx, std::abs(fc.fx) * 1e-3);
+}
+
+TEST(Yukawa, ForceIsMinusGradientOfPotential) {
+  const particles::Yukawa k{2.0, 0.15, 0.0};
+  Particle a;
+  Particle b;
+  b.id = 1;
+  const double r = 0.3;
+  const double h = 1e-6;
+  const double dU = (k.potential((r + h) * (r + h), a, b) -
+                     k.potential((r - h) * (r - h), a, b)) /
+                    (2 * h);
+  const auto f = k.force(r, 0.0, r * r, a, b);
+  EXPECT_NEAR(f.fx, -dU, std::abs(dU) * 1e-3);
+}
+
+// --- Morse --------------------------------------------------------------------
+
+TEST(Morse, EquilibriumAtR0) {
+  const particles::Morse k{1.0, 3.0, 0.4};
+  Particle a;
+  Particle b;
+  b.id = 1;
+  const auto inside_f = k.force(0.3, 0.0, 0.09, a, b);
+  const auto at_eq = k.force(0.4, 0.0, 0.16, a, b);
+  const auto outside_f = k.force(0.6, 0.0, 0.36, a, b);
+  EXPECT_GT(inside_f.fx, 0.0);   // repulsive inside r0
+  EXPECT_NEAR(at_eq.fx, 0.0, 1e-9);
+  EXPECT_LT(outside_f.fx, 0.0);  // attractive outside
+  EXPECT_NEAR(k.potential(0.16, a, b), -1.0, 1e-9);  // well depth at r0
+}
+
+TEST(Morse, ForceIsMinusGradientOfPotential) {
+  const particles::Morse k{1.5, 2.5, 0.5};
+  Particle a;
+  Particle b;
+  b.id = 1;
+  const double r = 0.7;
+  const double h = 1e-6;
+  const double dU =
+      (k.potential((r + h) * (r + h), a, b) - k.potential((r - h) * (r - h), a, b)) / (2 * h);
+  const auto f = k.force(r, 0.0, r * r, a, b);
+  EXPECT_NEAR(f.fx, -dU, std::abs(dU) * 1e-3 + 1e-9);
+}
+
+// --- leapfrog -----------------------------------------------------------------
+
+TEST(Leapfrog, FreeParticleDriftsLinearly) {
+  particles::Leapfrog integ;
+  Block ps(1);
+  ps[0].vx = 0.5f;
+  const Box box = Box::reflective_2d(100.0);
+  for (int i = 0; i < 10; ++i) integ.post_force(ps, 0.1, box);
+  EXPECT_NEAR(ps[0].px, 0.5, 1e-5);
+}
+
+TEST(Leapfrog, AvailableThroughFactoryAndFacade) {
+  EXPECT_EQ(particles::make_integrator("leapfrog")->name(), "leapfrog");
+  using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
+  Sim::Config cfg;
+  cfg.machine = machine::laptop();
+  cfg.p = 4;
+  cfg.integrator = "leapfrog";
+  cfg.kernel = particles::InverseSquareRepulsion{1e-4, 1e-2};
+  Sim s(cfg, particles::init_uniform(16, cfg.box, 3, 0.01));
+  EXPECT_NO_THROW(s.run(3));
+}
+
+// --- energy conservation through the DISTRIBUTED engines -----------------------
+
+TEST(DistributedConservation, CaAllPairsConservesEnergyWithVerlet) {
+  const Box box = Box::reflective_2d(2.0);
+  const particles::InverseSquareRepulsion k{1e-3, 2e-2};
+  const auto init = particles::init_uniform(48, box, 5, 0.05);
+  const auto e0 = particles::full_state(std::span<const Particle>(init), box, k);
+
+  using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
+  Sim::Config cfg;
+  cfg.method = sim::Method::CaAllPairs;
+  cfg.p = 12;
+  cfg.c = 2;
+  cfg.machine = machine::laptop();
+  cfg.box = box;
+  cfg.kernel = k;
+  cfg.dt = 1e-3;
+  Sim s(cfg, init);
+  s.run(500);
+  const auto snap = s.gather();
+  const auto e1 = particles::full_state(std::span<const Particle>(snap), box, k);
+  EXPECT_NEAR(e1.total(), e0.total(), std::abs(e0.total()) * 0.02);
+}
+
+TEST(DistributedConservation, CutoffEngineConservesTruncatedEnergy) {
+  // With a SoftSphere kernel whose support fits inside the cutoff, the
+  // truncation is exact and energy must be conserved.
+  const Box box = Box::reflective_2d(1.0);
+  const particles::SoftSphere k{20.0, 0.05};
+  auto init = particles::init_lattice(64, box, 0.2, 3);
+  {
+    Xoshiro256 rng(5);
+    for (auto& p : init) {
+      p.vx = static_cast<float>(rng.normal() * 0.03);
+      p.vy = static_cast<float>(rng.normal() * 0.03);
+    }
+  }
+  const auto e0 = particles::full_state(std::span<const Particle>(init), box, k);
+
+  using Sim = sim::Simulation<particles::SoftSphere>;
+  Sim::Config cfg;
+  cfg.method = sim::Method::CaCutoff;
+  cfg.p = 32;  // q = 16 teams -> 4x4 grid; the rc window (mx=1) fits
+  cfg.c = 2;
+  cfg.machine = machine::laptop();
+  cfg.box = box;
+  cfg.kernel = k;
+  cfg.cutoff = 0.25;
+  cfg.dt = 1e-3;
+  Sim s(cfg, init);
+  s.run(400);
+  const auto snap = s.gather();
+  const auto e1 = particles::full_state(std::span<const Particle>(snap), box, k);
+  EXPECT_NEAR(e1.total(), e0.total(), std::abs(e0.total()) * 0.03 + 1e-6);
+}
+
+// --- trajectory I/O --------------------------------------------------------------
+
+TEST(Trajectory, XyzRoundTripsPositions) {
+  const auto ps = particles::init_uniform(17, Box::reflective_2d(1.0), 9);
+  std::stringstream ss;
+  sim::write_xyz_frame(ss, ps, "step=0");
+  sim::write_xyz_frame(ss, ps, "step=1");
+  Block back;
+  std::string comment;
+  ASSERT_TRUE(sim::read_xyz_frame(ss, back, &comment));
+  EXPECT_EQ(comment, "step=0");
+  ASSERT_EQ(back.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_NEAR(back[i].px, ps[i].px, 1e-5);
+    EXPECT_NEAR(back[i].py, ps[i].py, 1e-5);
+  }
+  ASSERT_TRUE(sim::read_xyz_frame(ss, back, &comment));
+  EXPECT_EQ(comment, "step=1");
+  EXPECT_FALSE(sim::read_xyz_frame(ss, back, &comment));  // clean EOF
+}
+
+TEST(Trajectory, RejectsMalformedInput) {
+  Block out;
+  std::stringstream bad1("not-a-count\ncomment\n");
+  EXPECT_THROW(sim::read_xyz_frame(bad1, out), PreconditionError);
+  std::stringstream bad2("3\ncomment\nP 0 0 0\n");  // truncated
+  EXPECT_THROW(sim::read_xyz_frame(bad2, out), PreconditionError);
+}
+
+TEST(Trajectory, WriterProducesReadableFiles) {
+  const std::string path = "/tmp/canb_test_traj.xyz";
+  const auto ps = particles::init_uniform(8, Box::reflective_2d(1.0), 2);
+  {
+    sim::TrajectoryWriter w(path, sim::TrajectoryWriter::Format::Xyz);
+    w.append(ps, 0, 0.0);
+    w.append(ps, 1, 0.1);
+    EXPECT_EQ(w.frames_written(), 2);
+  }
+  std::ifstream f(path);
+  Block back;
+  int frames = 0;
+  while (sim::read_xyz_frame(f, back)) ++frames;
+  EXPECT_EQ(frames, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Trajectory, CsvHasHeaderAndRows) {
+  const std::string path = "/tmp/canb_test_traj.csv";
+  const auto ps = particles::init_uniform(4, Box::reflective_2d(1.0), 2);
+  {
+    sim::TrajectoryWriter w(path, sim::TrajectoryWriter::Format::Csv);
+    w.append(ps, 7, 0.7);
+  }
+  std::ifstream f(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_EQ(line, "step,time,id,px,py,vx,vy,fx,fy,mass,charge");
+  int rows = 0;
+  while (std::getline(f, line)) ++rows;
+  EXPECT_EQ(rows, 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// configurations, checked over seeded random sweeps.
+//
+//  P1  permute rounds conserve buffers (multiset equality)
+//  P2  clock == sum of per-phase ledger seconds, always
+//  P3  engine construction accepts exactly the documented (p, c) set
+//  P4  total examined interactions equal the analytic schedule count
+//  P5  real and phantom ledgers agree for random configurations
+//  P6  gather() preserves the particle set (no loss, no duplication)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "decomp/partition.hpp"
+#include "machine/presets.hpp"
+#include "particles/init.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Block;
+using particles::Box;
+using particles::InverseSquareRepulsion;
+using Policy = core::RealPolicy<InverseSquareRepulsion>;
+
+// --- P1 + P2: permutation rounds ------------------------------------------------
+
+TEST(Properties, RandomPermutationsConserveBuffersAndClockInvariant) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int p = 2 + static_cast<int>(rng.uniform_int(62));
+    vmpi::VirtualComm vc(p, machine::laptop());
+    std::vector<int> perm(static_cast<std::size_t>(p));
+    std::iota(perm.begin(), perm.end(), 0);
+    // Fisher-Yates with the deterministic generator.
+    for (int i = p - 1; i > 0; --i) {
+      const auto j = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+    }
+    std::vector<int> bufs(static_cast<std::size_t>(p));
+    std::iota(bufs.begin(), bufs.end(), 1000);
+    std::vector<int> scratch;
+    vmpi::permute_buffers(
+        vc, [&](int r) { return perm[static_cast<std::size_t>(r)]; }, bufs, scratch,
+        [](int) { return 16.0; }, vmpi::Phase::Shift);
+    auto sorted = bufs;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < p; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], 1000 + i);
+    for (int r = 0; r < p; ++r)
+      EXPECT_NEAR(vc.clock(r), vc.ledger().total_seconds(r), 1e-15);
+  }
+}
+
+// --- P3: validity is exactly the documented predicate ----------------------------
+
+TEST(Properties, EngineAcceptsExactlyValidReplicationFactors) {
+  Xoshiro256 rng(7);
+  int accepted = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int p = 1 + static_cast<int>(rng.uniform_int(96));
+    const int c = 1 + static_cast<int>(rng.uniform_int(12));
+    const bool valid = vmpi::valid_all_pairs_replication(p, c);
+    core::PhantomPolicy policy({0.0, false});
+    bool constructed = true;
+    try {
+      std::vector<core::PhantomBlock> blocks(
+          valid ? static_cast<std::size_t>(p / c)
+                : static_cast<std::size_t>(std::max(1, p / std::max(1, c))),
+          {2});
+      core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                                   std::move(blocks));
+      engine.step();
+    } catch (const PreconditionError&) {
+      constructed = false;
+    }
+    EXPECT_EQ(constructed, valid) << "p=" << p << " c=" << c;
+    (valid ? accepted : rejected)++;
+  }
+  EXPECT_GT(accepted, 5);  // the sweep must exercise both branches
+  EXPECT_GT(rejected, 5);
+}
+
+// --- P4: interaction conservation -------------------------------------------------
+
+TEST(Properties, AllPairsExaminesExactlyAllOrderedPairs) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random valid (p, c) and random per-team counts.
+    const int candidates[][2] = {{4, 1}, {8, 2}, {16, 2}, {16, 4}, {36, 3}, {64, 4}, {25, 5}};
+    const auto& pc = candidates[rng.uniform_int(7)];
+    const int p = pc[0];
+    const int c = pc[1];
+    const int q = p / c;
+    std::vector<core::PhantomBlock> blocks(static_cast<std::size_t>(q));
+    std::uint64_t n = 0;
+    for (auto& b : blocks) {
+      b.count = 1 + rng.uniform_int(7);
+      n += b.count;
+    }
+    core::PhantomPolicy policy({0.0, false});
+    core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                                 std::move(blocks));
+    engine.step();
+    // Total examined pairs across all ranks must be exactly n(n-1).
+    const double gamma = machine::laptop().gamma;
+    const double integrate =
+        machine::laptop().gamma_flop * core::kIntegrateFlopsPerParticle * static_cast<double>(n);
+    const double compute = engine.comm().ledger().aggregate(vmpi::Phase::Compute).seconds;
+    const double pairs = (compute - integrate) / gamma;
+    EXPECT_NEAR(pairs, static_cast<double>(n) * (static_cast<double>(n) - 1), 1e-6)
+        << "p=" << p << " c=" << c;
+  }
+}
+
+TEST(Properties, PeriodicCutoffExaminesExactlyWindowPairs) {
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int q = 8 + 2 * static_cast<int>(rng.uniform_int(8));  // 8..22
+    const int m = 1 + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(q / 2 - 1)));
+    const int c = 1 + static_cast<int>(rng.uniform_int(2));  // 1..3, c | p by construction
+    const int p = q * c;
+    if (c > 2 * m + 1) continue;
+    std::vector<core::PhantomBlock> blocks(static_cast<std::size_t>(q));
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(q));
+    for (int t = 0; t < q; ++t) {
+      counts[static_cast<std::size_t>(t)] = 1 + rng.uniform_int(5);
+      blocks[static_cast<std::size_t>(t)].count = counts[static_cast<std::size_t>(t)];
+    }
+    core::PhantomPolicy policy({0.0, false});
+    core::CaCutoff<core::PhantomPolicy> engine(
+        {p, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), /*periodic=*/true},
+        policy, std::move(blocks));
+    engine.step();
+    // Analytic count: every team t against teams t-m..t+m (ring), self-pairs
+    // excluded within its own block.
+    double expected = 0;
+    std::uint64_t n = 0;
+    for (int t = 0; t < q; ++t) {
+      n += counts[static_cast<std::size_t>(t)];
+      for (int o = -m; o <= m; ++o) {
+        const int u = ((t + o) % q + q) % q;
+        expected += static_cast<double>(counts[static_cast<std::size_t>(t)]) *
+                    static_cast<double>(counts[static_cast<std::size_t>(u)]);
+      }
+      expected -= static_cast<double>(counts[static_cast<std::size_t>(t)]);  // self pairs
+    }
+    const double gamma = machine::laptop().gamma;
+    const double integrate =
+        machine::laptop().gamma_flop * core::kIntegrateFlopsPerParticle * static_cast<double>(n);
+    const double compute = engine.comm().ledger().aggregate(vmpi::Phase::Compute).seconds;
+    EXPECT_NEAR((compute - integrate) / gamma, expected, expected * 1e-9)
+        << "q=" << q << " m=" << m << " c=" << c;
+  }
+}
+
+// --- P5: real/phantom agreement on random configurations --------------------------
+
+TEST(Properties, RealAndPhantomLedgersAgreeOnRandomConfigs) {
+  Xoshiro256 rng(5);
+  const Box box = Box::reflective_2d(1.0);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int candidates[][2] = {{8, 2}, {16, 4}, {12, 2}, {36, 6}};
+    const auto& pc = candidates[rng.uniform_int(4)];
+    const int p = pc[0];
+    const int c = pc[1];
+    const int n = 20 + static_cast<int>(rng.uniform_int(80));
+    const auto init = particles::init_uniform(n, box, 1000 + trial, 0.0);
+
+    Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, 0.0, 1e-4});
+    core::CaAllPairs<Policy> real_engine({p, c, machine::laptop()}, std::move(policy),
+                                         decomp::split_even(init, p / c));
+    real_engine.step();
+
+    std::vector<core::PhantomBlock> blocks;
+    for (const auto& b : decomp::split_even(init, p / c)) blocks.push_back({b.size()});
+    core::PhantomPolicy ppolicy({0.0, false});
+    core::CaAllPairs<core::PhantomPolicy> phantom({p, c, machine::laptop()}, ppolicy,
+                                                  std::move(blocks));
+    phantom.step();
+
+    EXPECT_EQ(real_engine.comm().ledger().critical_bytes(),
+              phantom.comm().ledger().critical_bytes())
+        << "p=" << p << " c=" << c << " n=" << n;
+    EXPECT_NEAR(real_engine.comm().max_clock(), phantom.comm().max_clock(), 1e-12);
+  }
+}
+
+// --- P6: gather conserves particles ------------------------------------------------
+
+TEST(Properties, GatherConservesParticleSetAcrossRandomRuns) {
+  Xoshiro256 rng(77);
+  const Box box = Box::reflective_1d(1.0);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int q = 8;
+    const int c = 2;
+    const int n = 30 + static_cast<int>(rng.uniform_int(50));
+    const auto init = particles::init_uniform(n, box, 500 + trial, 2.0);
+    const int m = core::window_radius_teams(0.25, 1.0, q);
+    Policy policy({box, InverseSquareRepulsion{1e-4, 1e-2}, 0.25, 2e-3});
+    core::CaCutoff<Policy> engine(
+        {q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), false},
+        std::move(policy), decomp::split_spatial_1d(init, box, q));
+    engine.run(4);
+    auto all = decomp::concat(engine.team_results());
+    particles::sort_by_id(all);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)].id, i);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Support library: RNG determinism, statistics, tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace canb;
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, SplitMix64KnownSequence) {
+  // Reference values for seed 0 from the published SplitMix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(1234);
+  Xoshiro256 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalHasUnitishMoments) {
+  Xoshiro256 rng(99);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_int(17), 17u);
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 100.0);
+  EXPECT_NEAR(quantile(xs, 0.5), 50.5, 1e-9);
+}
+
+TEST(Stats, ImbalanceFactor) {
+  std::vector<double> balanced{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(balanced), 1.0);
+  std::vector<double> skewed{1.0, 1.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(imbalance_factor(skewed), 2.5);
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 1.0);
+}
+
+TEST(Stats, LogLogSlopeRecoversPowerLaw) {
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * std::pow(v, -2.0));
+  EXPECT_NEAR(loglog_slope(x, y), -2.0, 1e-9);
+}
+
+TEST(Stats, GeometricMean) {
+  std::vector<double> xs{1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+}
+
+// --- table --------------------------------------------------------------------
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({{"name", 8}, {"value", 10, 2}});
+  t.add_row({std::string("alpha"), 3.14159});
+  t.add_row({std::string("beta"), 2.71828});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({{"a"}, {"b", 8, 1}});
+  t.add_row({static_cast<long long>(7), 0.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n7,0.5\n");
+}
+
+TEST(Table, RejectsAritlessRows) {
+  Table t({{"a"}, {"b"}});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), PreconditionError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.500 us");
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+}
+
+// --- cli --------------------------------------------------------------------
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--n=100", "--machine", "hopper", "--verbose"};
+  CliArgs args(5, argv, {"n", "machine", "verbose"});
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get("machine", ""), "hopper");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing-is-fallback", 42), 42);
+}
+
+TEST(Cli, RejectsUnknownOptions) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(CliArgs(2, argv, {"n"}), PreconditionError);
+}
+
+TEST(Cli, CollectsPositionals) {
+  const char* argv[] = {"prog", "file1", "--n=3", "file2"};
+  CliArgs args(4, argv, {"n"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+// --- assert -------------------------------------------------------------------
+
+TEST(Assert, RequireThrowsWithMessage) {
+  try {
+    CANB_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"), std::string::npos);
+  }
+}
+
+}  // namespace

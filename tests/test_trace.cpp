@@ -1,0 +1,252 @@
+// Schedule-trace tests: verify the communication *patterns* of the
+// algorithms against the paper's illustrations, independent of costs.
+//
+//  - Figure 1: Algorithm 1's broadcast-within-team, skew-by-row-index, and
+//    stride-c shifts.
+//  - Figure 4: Algorithm 2's skew into the cutoff window and the 2m/c
+//    window walk.
+//  - Figure 5: the 2D window walk's per-axis wrap-around.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/trace.hpp"
+
+namespace {
+
+using namespace canb;
+using vmpi::Phase;
+
+core::CaAllPairs<core::PhantomPolicy> make_all_pairs(int p, int c, std::uint64_t per_team) {
+  core::PhantomPolicy policy({0.0, /*bulk=*/false});
+  return core::CaAllPairs<core::PhantomPolicy>(
+      {p, c, machine::laptop()}, policy,
+      std::vector<core::PhantomBlock>(static_cast<std::size_t>(p / c), {per_team}));
+}
+
+// --- Figure 1: the all-pairs schedule ----------------------------------------
+
+TEST(TraceAllPairs, BroadcastsAreOnePerTeamWithAllMembers) {
+  auto engine = make_all_pairs(36, 3, 4);  // q = 12 teams of 3
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  int bcasts = 0;
+  for (const auto& e : trace.collectives()) {
+    if (e.phase != Phase::Broadcast) continue;
+    ++bcasts;
+    EXPECT_EQ(e.members.size(), 3u);  // c members per team
+    EXPECT_FALSE(e.is_reduce);
+  }
+  EXPECT_EQ(bcasts, 12);  // q teams
+  int reduces = 0;
+  for (const auto& e : trace.collectives()) {
+    if (e.phase == Phase::Reduce) {
+      ++reduces;
+      EXPECT_TRUE(e.is_reduce);
+    }
+  }
+  EXPECT_EQ(reduces, 12);
+}
+
+TEST(TraceAllPairs, SkewShiftsRowKByKColumns) {
+  const int p = 20;
+  const int c = 2;  // grid 2 x 10
+  auto engine = make_all_pairs(p, c, 4);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  for (const auto& e : trace.p2p_of(Phase::Skew)) {
+    const int row = g.row_of(e.dst);
+    EXPECT_EQ(g.row_of(e.src), row);  // skew stays within the row
+    // Receiver is `row` columns east of the sender.
+    EXPECT_EQ(g.wrap_col(g.col_of(e.src), row), g.col_of(e.dst));
+    EXPECT_GT(row, 0);  // row 0 skews by zero -> no message
+  }
+}
+
+TEST(TraceAllPairs, ShiftsMoveExactlyCColumnsEast) {
+  const int p = 36;
+  const int c = 3;
+  auto engine = make_all_pairs(p, c, 4);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  const auto shifts = trace.p2p_of(Phase::Shift);
+  // p/c^2 - 1 rounds of p messages each.
+  const int steps = (p / c) / c - 1;
+  EXPECT_EQ(shifts.size(), static_cast<std::size_t>(steps * p));
+  for (const auto& e : shifts) {
+    EXPECT_EQ(g.row_of(e.src), g.row_of(e.dst));
+    EXPECT_EQ(g.wrap_col(g.col_of(e.src), c), g.col_of(e.dst));
+  }
+}
+
+TEST(TraceAllPairs, EveryRankSendsAndReceivesOncePerShiftRound) {
+  auto engine = make_all_pairs(16, 2, 4);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  std::map<int, std::map<int, int>> sends_per_round;  // round -> rank -> count
+  std::map<int, std::map<int, int>> recvs_per_round;
+  for (const auto& e : trace.p2p_of(Phase::Shift)) {
+    ++sends_per_round[e.round][e.src];
+    ++recvs_per_round[e.round][e.dst];
+  }
+  for (const auto& [round, sends] : sends_per_round) {
+    EXPECT_EQ(sends.size(), 16u) << "round " << round;
+    for (const auto& [rank, cnt] : sends) EXPECT_EQ(cnt, 1) << rank;
+    for (const auto& [rank, cnt] : recvs_per_round[round]) EXPECT_EQ(cnt, 1) << rank;
+  }
+}
+
+TEST(TraceAllPairs, C1HasNoCollectivesAndRingShifts) {
+  auto engine = make_all_pairs(8, 1, 4);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  EXPECT_TRUE(trace.collectives().empty());
+  EXPECT_TRUE(trace.p2p_of(Phase::Skew).empty());
+  const auto shifts = trace.p2p_of(Phase::Shift);
+  EXPECT_EQ(shifts.size(), 7u * 8u);  // p-1 rounds of p messages
+  for (const auto& e : shifts) EXPECT_EQ((e.src + 1) % 8, e.dst);  // the classic ring
+}
+
+// --- Figure 4: the 1D cutoff schedule ------------------------------------------
+
+core::CaCutoff<core::PhantomPolicy> make_cutoff_1d(int q, int c, int m, bool periodic = false) {
+  core::PhantomPolicy policy({0.0, false});
+  return core::CaCutoff<core::PhantomPolicy>(
+      {q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), periodic}, policy,
+      std::vector<core::PhantomBlock>(static_cast<std::size_t>(q), {4}));
+}
+
+TEST(TraceCutoff, SkewJumpsRowKToWindowSlotK) {
+  const int q = 12;
+  const int c = 3;
+  const int m = 3;
+  auto engine = make_cutoff_1d(q, c, m);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  for (const auto& e : trace.p2p_of(Phase::Skew)) {
+    const int row = g.row_of(e.dst);
+    EXPECT_EQ(g.row_of(e.src), row);
+    // Receiver at column t pulls the block at offset (row - m): the sender
+    // holds it at column t + (row - m).
+    EXPECT_EQ(g.col_of(e.src), g.wrap_col(g.col_of(e.dst), row - m));
+  }
+}
+
+TEST(TraceCutoff, WindowWalkStridesByC) {
+  // c divides the window size (2m+1 = 9, c = 3): no padding slots, so
+  // every shift round is the uniform stride-c move of Figure 4.
+  const int q = 16;
+  const int c = 3;
+  const int m = 4;
+  auto engine = make_cutoff_1d(q, c, m);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  EXPECT_EQ(engine.slots_per_row(), 3);  // (2m+1)/c
+  const auto shifts = trace.p2p_of(Phase::Shift);
+  EXPECT_EQ(shifts.size(), 2u * static_cast<std::size_t>(q * c));
+  for (const auto& e : shifts) {
+    EXPECT_EQ(g.row_of(e.src), g.row_of(e.dst));
+    // Blocks advance to higher offsets: the receiver pulls from the rank
+    // c columns east.
+    EXPECT_EQ(g.col_of(e.src), g.wrap_col(g.col_of(e.dst), c));
+  }
+}
+
+TEST(TraceCutoff, PaddingRowsWrapAroundTheWindow) {
+  // With c = 2 and window 9, slots_per_row = 5 and the final round of some
+  // rows crosses the window boundary: the buffer "wraps around at the
+  // cutoff radius" (Figure 4's label 3) with a non-stride displacement.
+  const int q = 16;
+  const int c = 2;
+  const int m = 4;
+  auto engine = make_cutoff_1d(q, c, m);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  EXPECT_EQ(engine.slots_per_row(), 5);
+  int strides = 0;
+  int wraps = 0;
+  for (const auto& e : trace.p2p_of(Phase::Shift)) {
+    if (g.col_of(e.src) == g.wrap_col(g.col_of(e.dst), c)) {
+      ++strides;
+    } else {
+      ++wraps;
+    }
+  }
+  EXPECT_GT(strides, 0);
+  EXPECT_GT(wraps, 0);  // the wrap rounds exist
+  EXPECT_GT(strides, wraps);
+}
+
+TEST(TraceCutoff, MessageCountScalesWithWindowNotMachine) {
+  // Total shift rounds ~ 2m/c regardless of q (the cutoff decouples
+  // communication from machine size — Section IV).
+  const int c = 2;
+  const int m = 4;
+  auto small = make_cutoff_1d(16, c, m);
+  auto large = make_cutoff_1d(64, c, m);
+  vmpi::TraceRecorder ts, tl;
+  small.comm().set_trace(&ts);
+  large.comm().set_trace(&tl);
+  small.step();
+  large.step();
+  auto rounds = [](const vmpi::TraceRecorder& t) {
+    std::set<int> r;
+    for (const auto& e : t.p2p_of(Phase::Shift)) r.insert(e.round);
+    return r.size();
+  };
+  EXPECT_EQ(rounds(ts), rounds(tl));
+}
+
+// --- Figure 5: the 2D window walk ---------------------------------------------
+
+TEST(TraceCutoff2d, ShiftsWrapPerAxis) {
+  const int qx = 5;
+  const int qy = 5;
+  const int c = 4;  // Figure 5's configuration: 25 teams, 4 layers
+  const int m = 1;
+  core::PhantomPolicy policy({0.0, false});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {qx * qy * c, c, machine::laptop(), core::CutoffGeometry::make_2d(qx, qy, m, m), false},
+      policy, std::vector<core::PhantomBlock>(25, {4}));
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.step();
+  const auto g = engine.grid();
+  // Window = 9 slots over 4 rows -> ceil(9/4) = 3 slots/row, 2 shift rounds.
+  EXPECT_EQ(engine.slots_per_row(), 3);
+  for (const auto& e : trace.p2p_of(Phase::Shift)) {
+    EXPECT_EQ(g.row_of(e.src), g.row_of(e.dst));
+    // Displacement is within the 2D team grid: decompose the column move.
+    const int sx = g.col_of(e.src) % qx;
+    const int sy = g.col_of(e.src) / qx;
+    const int dx_ = g.col_of(e.dst) % qx;
+    const int dy_ = g.col_of(e.dst) / qx;
+    // Per-axis distance never exceeds the window span (2m+1 teams).
+    auto axis_dist = [](int a, int b, int qdim) {
+      const int d = std::abs(a - b);
+      return std::min(d, qdim - d);
+    };
+    EXPECT_LE(axis_dist(sx, dx_, qx), 2 * m + 1);
+    EXPECT_LE(axis_dist(sy, dy_, qy), 2 * m + 1);
+  }
+}
+
+}  // namespace

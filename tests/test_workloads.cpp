@@ -1,0 +1,76 @@
+// Workload generators: density gradient and two-stream distributions.
+#include <gtest/gtest.h>
+
+#include "particles/init.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Box;
+
+TEST(Gradient, DensityFollowsTheSlope) {
+  const Box box = Box::reflective_1d(1.0);
+  const int n = 40000;
+  const auto ps = particles::init_gradient(n, box, 1.0, 7);
+  ASSERT_EQ(ps.size(), static_cast<std::size_t>(n));
+  // With slope 1.0, density at x is (1 + (x - 1/2)) = x + 1/2: the right
+  // half holds 5/8 of the mass.
+  int right = 0;
+  for (const auto& p : ps) {
+    ASSERT_GE(p.px, 0.0f);
+    ASSERT_LE(p.px, 1.0f);
+    if (p.px > 0.5f) ++right;
+  }
+  EXPECT_NEAR(static_cast<double>(right) / n, 5.0 / 8.0, 0.01);
+}
+
+TEST(Gradient, ZeroSlopeIsUniform) {
+  const Box box = Box::reflective_1d(1.0);
+  const auto ps = particles::init_gradient(20000, box, 0.0, 7);
+  RunningStats sx;
+  for (const auto& p : ps) sx.add(p.px);
+  EXPECT_NEAR(sx.mean(), 0.5, 0.01);
+}
+
+TEST(Gradient, RejectsInvalidSlope) {
+  const Box box = Box::reflective_1d(1.0);
+  EXPECT_THROW(particles::init_gradient(10, box, 2.5, 1), PreconditionError);
+  EXPECT_THROW(particles::init_gradient(10, box, -0.1, 1), PreconditionError);
+}
+
+TEST(TwoStream, HalvesCounterStream) {
+  const Box box = Box::reflective_2d(1.0);
+  const auto ps = particles::init_two_stream(1000, box, 0.5, 0.01, 3);
+  double top_vx = 0;
+  double bottom_vx = 0;
+  int top = 0;
+  int bottom = 0;
+  for (const auto& p : ps) {
+    if (p.py > 0.5f) {
+      top_vx += p.vx;
+      ++top;
+    } else {
+      bottom_vx += p.vx;
+      ++bottom;
+    }
+  }
+  ASSERT_GT(top, 0);
+  ASSERT_GT(bottom, 0);
+  EXPECT_NEAR(top_vx / top, 0.5, 0.05);
+  EXPECT_NEAR(bottom_vx / bottom, -0.5, 0.05);
+}
+
+TEST(TwoStream, DeterministicIdsAndBounds) {
+  const Box box = Box::reflective_2d(2.0);
+  const auto a = particles::init_two_stream(64, box, 1.0, 0.1, 11);
+  const auto b = particles::init_two_stream(64, box, 1.0, 0.1, 11);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<int>(i));
+    EXPECT_EQ(a[i].px, b[i].px);
+    EXPECT_TRUE(particles::inside(a[i], box));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Kernel-engine throughput bench: Scalar vs Batched pairs/sec for every
+// force kernel at n in {64, 256, 1024, 4096}, emitted as JSON so the perf
+// trajectory is recorded (BENCH_kernels.json at the repo root), not
+// asserted from memory. This measures HOST time — the quantity the batched
+// engine is allowed to change — never virtual machine time.
+//
+//   ./bench/kernel_engines_bench --out=BENCH_kernels.json --min-ms=150
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "particles/batched_engine.hpp"
+#include "particles/init.hpp"
+#include "particles/kernels.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace canb;
+using particles::Box;
+using particles::KernelEngine;
+
+volatile double g_sink = 0.0;  ///< defeats dead-code elimination of the sweeps
+
+struct Measurement {
+  std::string kernel;
+  int n = 0;
+  double scalar_pairs_per_sec = 0.0;
+  double batched_pairs_per_sec = 0.0;
+  double speedup() const { return batched_pairs_per_sec / scalar_pairs_per_sec; }
+};
+
+/// Runs the sweep repeatedly until `min_ms` of wall time accumulates (after
+/// one warmup iteration) and returns the best pairs/sec over `repeats`
+/// timed windows — the google-benchmark convention, hand-rolled so this
+/// driver can emit its own JSON.
+template <class K>
+double measure_pairs_per_sec(const K& kernel, int n, KernelEngine engine, double min_ms,
+                             int repeats) {
+  const Box box = Box::reflective_2d(1.0);
+  auto ps = particles::init_uniform(n, box, 1);
+  const auto pairs_per_iter = static_cast<double>(n) * static_cast<double>(n - 1);
+  const auto run_once = [&] {
+    particles::clear_forces(ps);
+    const auto count = particles::accumulate_forces_with(
+        engine, std::span<particles::Particle>(ps), std::span<const particles::Particle>(ps),
+        box, kernel);
+    g_sink = g_sink + static_cast<double>(count.within_cutoff) + static_cast<double>(ps[0].fx);
+  };
+  run_once();  // warmup: faults pages, primes caches and the SoA scratch
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    long iters = 0;
+    double elapsed = 0.0;
+    do {
+      run_once();
+      ++iters;
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    } while (elapsed * 1e3 < min_ms);
+    best = std::max(best, static_cast<double>(iters) * pairs_per_iter / elapsed);
+  }
+  return best;
+}
+
+template <class K>
+Measurement measure(const std::string& name, const K& kernel, int n, double min_ms,
+                    int repeats) {
+  Measurement m;
+  m.kernel = name;
+  m.n = n;
+  m.scalar_pairs_per_sec = measure_pairs_per_sec(kernel, n, KernelEngine::Scalar, min_ms, repeats);
+  m.batched_pairs_per_sec =
+      measure_pairs_per_sec(kernel, n, KernelEngine::Batched, min_ms, repeats);
+  return m;
+}
+
+void write_json(const std::string& path, const std::vector<Measurement>& ms) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"kernel_engines\",\n  \"unit\": \"pairs_per_sec\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& m = ms[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"kernel\": \"%s\", \"n\": %d, \"scalar\": %.6g, \"batched\": %.6g, "
+                  "\"speedup\": %.3f}%s\n",
+                  m.kernel.c_str(), m.n, m.scalar_pairs_per_sec, m.batched_pairs_per_sec,
+                  m.speedup(), i + 1 < ms.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"out", "min-ms", "repeats"});
+  const std::string out_path = args.get("out", "BENCH_kernels.json");
+  const double min_ms = args.get_double("min-ms", 150.0);
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+
+  std::vector<Measurement> ms;
+  for (const int n : {64, 256, 1024, 4096}) {
+    ms.push_back(measure("InverseSquare", particles::InverseSquareRepulsion{1e-4, 1e-2}, n,
+                         min_ms, repeats));
+    ms.push_back(measure("Gravity", particles::Gravity{1e-4, 1e-2}, n, min_ms, repeats));
+    ms.push_back(measure("LennardJones", particles::LennardJones{1e-6, 0.05}, n, min_ms, repeats));
+    ms.push_back(measure("Yukawa", particles::Yukawa{1e-3, 0.1, 1e-2}, n, min_ms, repeats));
+    ms.push_back(measure("Morse", particles::Morse{1e-4, 8.0, 0.1}, n, min_ms, repeats));
+    ms.push_back(measure("SoftSphere", particles::SoftSphere{5.0, 0.06}, n, min_ms, repeats));
+  }
+
+  write_json(out_path, ms);
+  std::cout << "kernel      n      scalar(p/s)   batched(p/s)  speedup\n";
+  for (const auto& m : ms) {
+    std::printf("%-12s %-6d %-13.4g %-13.4g %.2fx\n", m.kernel.c_str(), m.n,
+                m.scalar_pairs_per_sec, m.batched_pairs_per_sec, m.speedup());
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -13,6 +13,7 @@
 //   --cutoff      cutoff radius (required by the cutoff methods)
 //   --restart     resume from a checkpoint written by --checkpoint
 //   --threads     host threads for the force loops (ca methods)
+//   --engine      scalar | batched host force sweep (virtual time unchanged)
 #include <iomanip>
 #include <iostream>
 
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
-                      "threads", "integrator"});
+                      "threads", "integrator", "engine"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   cfg.cutoff = args.get_double("cutoff", 0.0);
   cfg.kernel = particles::InverseSquareRepulsion{1e-4, 1e-2};
   cfg.integrator = args.get("integrator", "velocity-verlet");
+  cfg.engine = particles::parse_engine(args.get("engine", "scalar"));
   const int n = static_cast<int>(args.get_int("n", 512));
   const int steps = static_cast<int>(args.get_int("steps", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the kernel-engine throughput bench with the native-arch bench flags
+# and regenerate BENCH_kernels.json at the repo root.
+#
+# Usage:
+#     scripts/run_kernel_bench.sh [build-dir] [extra kernel_engines_bench args...]
+#
+# The bench compares Scalar vs Batched pairs/sec for every force kernel at
+# n in {64, 256, 1024, 4096}. CANB_NATIVE_ARCH affects bench targets only,
+# so the library/tests in the build dir stay portable.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCANB_NATIVE_ARCH=ON
+cmake --build "${build_dir}" --target kernel_engines_bench -j "$(nproc)"
+
+"${build_dir}/bench/kernel_engines_bench" \
+    --out="${repo_root}/BENCH_kernels.json" "$@"

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <span>
 
+#include "particles/batched_engine.hpp"
 #include "particles/integrator.hpp"
 #include "particles/kernels.hpp"
 #include "particles/particle.hpp"
@@ -45,6 +46,10 @@ class RealPolicy {
     K kernel{};
     double cutoff = 0.0;  ///< 0 = no cutoff
     double dt = 1e-3;
+    /// Host-side sweep implementation. Engines only change host wall time;
+    /// the examined counts charged to the ledger are identical, so virtual
+    /// clocks, messages, and words do not depend on this choice.
+    particles::KernelEngine engine = particles::KernelEngine::Scalar;
   };
 
   explicit RealPolicy(Config cfg) : cfg_(std::move(cfg)) { cfg_.box.validate(); }
@@ -53,9 +58,9 @@ class RealPolicy {
   static std::uint64_t count(const Buffer& b) noexcept { return b.size(); }
 
   InteractStats interact(Buffer& resident, const Buffer& visitor, bool /*same_block*/) const {
-    const auto stats = particles::accumulate_forces(
-        std::span<particles::Particle>(resident), std::span<const particles::Particle>(visitor),
-        cfg_.box, cfg_.kernel, cfg_.cutoff);
+    const auto stats = particles::accumulate_forces_with(
+        cfg_.engine, std::span<particles::Particle>(resident),
+        std::span<const particles::Particle>(visitor), cfg_.box, cfg_.kernel, cfg_.cutoff);
     return {stats.examined};
   }
 

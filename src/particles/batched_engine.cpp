@@ -1,0 +1,18 @@
+#include "particles/batched_engine.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb::particles {
+
+const char* engine_name(KernelEngine e) noexcept {
+  return e == KernelEngine::Batched ? "batched" : "scalar";
+}
+
+KernelEngine parse_engine(const std::string& name) {
+  if (name == "scalar") return KernelEngine::Scalar;
+  if (name == "batched") return KernelEngine::Batched;
+  CANB_REQUIRE(false, "unknown kernel engine: " + name + " (expected scalar|batched)");
+  return KernelEngine::Scalar;
+}
+
+}  // namespace canb::particles

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "particles/batched_engine.hpp"
 #include "particles/box.hpp"
 #include "particles/kernels.hpp"
 #include "particles/particle.hpp"
@@ -27,9 +28,10 @@ class CellList {
   int cells_y() const noexcept { return ny_; }
 
   /// Calls fn(i, j) for every ordered pair (i != j) whose bins are within
-  /// one cell of each other — a superset of pairs within the cutoff.
+  /// one cell of each other — a superset of pairs within the cutoff. The
+  /// indices refer to the span passed to the last build().
   template <class Fn>
-  void for_neighbor_pairs(std::span<const Particle> ps, Fn&& fn) const {
+  void for_neighbor_pairs(Fn&& fn) const {
     for (int cy = 0; cy < ny_; ++cy) {
       for (int cx = 0; cx < nx_; ++cx) {
         for (const int i : bin(cx, cy)) {
@@ -38,8 +40,28 @@ class CellList {
               if (i != j) fn(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
             }
           });
-          (void)ps;
         }
+      }
+    }
+  }
+
+  /// Calls fn(cell, neighborhood) for every non-empty cell: `cell` holds the
+  /// indices binned there, `neighborhood` the indices of every bin within
+  /// one cell (including the cell itself), in the same visit order as
+  /// for_neighbor_pairs. This is the batched engine's gather unit.
+  template <class Fn>
+  void for_cell_neighborhoods(Fn&& fn) const {
+    std::vector<int> neigh;
+    for (int cy = 0; cy < ny_; ++cy) {
+      for (int cx = 0; cx < nx_; ++cx) {
+        const auto& cell = bin(cx, cy);
+        if (cell.empty()) continue;
+        neigh.clear();
+        visit_neighborhood(cx, cy, [&](int cx2, int cy2) {
+          const auto& b = bin(cx2, cy2);
+          neigh.insert(neigh.end(), b.begin(), b.end());
+        });
+        fn(std::span<const int>(cell), std::span<const int>(neigh));
       }
     }
   }
@@ -83,14 +105,28 @@ class CellList {
 
 /// Serial cutoff force evaluation via a cell list. Forces are accumulated
 /// into ps; returns the number of in-cutoff pair interactions applied.
+/// The batched engine gathers each cell's neighborhood into SoA tiles and
+/// runs the tiled sweep per cell; applied counts are identical by
+/// construction (both skip pairs by id, then test the same cutoff).
 template <ForceKernel K>
 std::uint64_t cell_list_forces(std::span<Particle> ps, const Box& box, const K& kernel,
-                               double cutoff) {
+                               double cutoff, KernelEngine engine = KernelEngine::Scalar) {
   CellList cl(box, cutoff);
   cl.build(ps);
-  const double cutoff2 = cutoff * cutoff;
   std::uint64_t applied = 0;
-  cl.for_neighbor_pairs(ps, [&](std::size_t i, std::size_t j) {
+  if (engine == KernelEngine::Batched) {
+    thread_local SoaTile tgt;
+    thread_local SoaTile src;
+    cl.for_cell_neighborhoods([&](std::span<const int> cell, std::span<const int> neigh) {
+      tgt.pack_gather(ps, cell, box);
+      src.pack_gather(ps, neigh, box);
+      applied += BatchedEngine::sweep(tgt, src, box, kernel, cutoff).within_cutoff;
+      tgt.scatter_add_forces(ps, cell);
+    });
+    return applied;
+  }
+  const double cutoff2 = cutoff * cutoff;
+  cl.for_neighbor_pairs([&](std::size_t i, std::size_t j) {
     auto& t = ps[i];
     const auto& s = ps[j];
     if (t.id == s.id) return;

@@ -11,6 +11,7 @@
 // symmetry optimizations are applied — we follow that.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <concepts>
 #include <cstdint>
@@ -26,13 +27,55 @@ struct PairForce {
   double fy = 0.0;
 };
 
+/// Shared singularity guard: the smallest squared distance any kernel
+/// divides by. Both the scalar and batched engines add this to r^2 before
+/// forming 1/r-type terms, so coincident distinct particles stay finite and
+/// the two engines agree bitwise on the guarded arithmetic.
+inline constexpr double kMinR2 = 1e-12;
+
+/// Which per-particle field pair a kernel couples through. The batched
+/// engine uses this to pick the packed lane array (charge, mass, or none)
+/// without per-pair branching.
+enum class Coupling { None, Charge, Mass };
+
 /// A kernel maps (displacement, squared distance, particles) to the force
 /// exerted ON `a` BY `b`, plus a pair potential for energy diagnostics.
+///
+/// Every kernel is a central force F = magnitude(r2, coupling) * (dx, dy);
+/// `magnitude` must be branch-free and finite for any r2 >= 0 (it is the
+/// auto-vectorized inner-loop body of the batched engine), and `force`
+/// must route through it so the two engines share one arithmetic path.
 template <class K>
 concept ForceKernel = requires(const K k, const Particle& a, const Particle& b, double d) {
   { k.force(d, d, d, a, b) } -> std::convertible_to<PairForce>;
   { k.potential(d, a, b) } -> std::convertible_to<double>;
+  { k.magnitude(d, d) } -> std::convertible_to<double>;
+  { K::kCoupling } -> std::convertible_to<Coupling>;
 };
+
+/// Kernels whose magnitude needs a libm call (exp) can additionally provide
+/// `magnitude_lanes`, evaluating a whole lane batch at once. The batched
+/// engine prefers it when present: a libm call in the middle of the wide
+/// masked loop clobbers every caller-saved vector register, spilling all
+/// the loop invariants each iteration — hoisting the call into its own
+/// tight loop over a scratch buffer avoids that and lets the surrounding
+/// arithmetic vectorize. Lane arithmetic must match `magnitude` exactly.
+template <class K>
+concept LaneBatchedKernel =
+    ForceKernel<K> && requires(const K k, const double* in, double* out, std::size_t n) {
+      { k.magnitude_lanes(in, in, out, n) };
+    };
+
+/// The coupling factor `magnitude` expects for a given pair.
+template <class K>
+double pair_coupling(const Particle& a, const Particle& b) noexcept {
+  if constexpr (K::kCoupling == Coupling::Charge)
+    return static_cast<double>(a.charge) * static_cast<double>(b.charge);
+  else if constexpr (K::kCoupling == Coupling::Mass)
+    return static_cast<double>(a.mass) * static_cast<double>(b.mass);
+  else
+    return 1.0;
+}
 
 /// Repulsive inverse-square force (the paper's kernel):
 ///   F = strength * charge_a * charge_b / (r^2 + eps^2), directed a <- b.
@@ -40,12 +83,17 @@ struct InverseSquareRepulsion {
   double strength = 1.0;
   double softening = 1e-3;  ///< Plummer softening keeps close pairs finite
 
+  static constexpr Coupling kCoupling = Coupling::Charge;
+
+  /// Magnitude c/d2 along the unit vector (dx,dy)/r — i.e. c/d2^{3/2} * d.
+  double magnitude(double r2, double coupling) const noexcept {
+    const double c = strength * coupling;
+    const double d2 = r2 + softening * softening;
+    return c / (d2 * std::sqrt(d2));
+  }
   PairForce force(double dx, double dy, double r2, const Particle& a,
                   const Particle& b) const noexcept {
-    const double c = strength * static_cast<double>(a.charge) * static_cast<double>(b.charge);
-    const double d2 = r2 + softening * softening;
-    // Magnitude c/d2 along the unit vector (dx,dy)/r — i.e. c/d2^{3/2} * d.
-    const double inv = c / (d2 * std::sqrt(d2));
+    const double inv = magnitude(r2, pair_coupling<InverseSquareRepulsion>(a, b));
     return {inv * dx, inv * dy};
   }
   double potential(double r2, const Particle& a, const Particle& b) const noexcept {
@@ -59,11 +107,16 @@ struct Gravity {
   double g = 1.0;
   double softening = 1e-3;
 
+  static constexpr Coupling kCoupling = Coupling::Mass;
+
+  double magnitude(double r2, double coupling) const noexcept {
+    const double c = -g * coupling;
+    const double d2 = r2 + softening * softening;
+    return c / (d2 * std::sqrt(d2));
+  }
   PairForce force(double dx, double dy, double r2, const Particle& a,
                   const Particle& b) const noexcept {
-    const double c = -g * static_cast<double>(a.mass) * static_cast<double>(b.mass);
-    const double d2 = r2 + softening * softening;
-    const double inv = c / (d2 * std::sqrt(d2));
+    const double inv = magnitude(r2, pair_coupling<Gravity>(a, b));
     return {inv * dx, inv * dy};
   }
   double potential(double r2, const Particle& a, const Particle& b) const noexcept {
@@ -77,14 +130,20 @@ struct LennardJones {
   double epsilon = 1.0;
   double sigma = 1.0;
 
-  PairForce force(double dx, double dy, double r2, const Particle&, const Particle&) const noexcept {
-    const double s2 = sigma * sigma / (r2 + 1e-12);
+  static constexpr Coupling kCoupling = Coupling::None;
+
+  double magnitude(double r2, double /*coupling*/) const noexcept {
+    const double r2g = r2 + kMinR2;
+    const double s2 = sigma * sigma / r2g;
     const double s6 = s2 * s2 * s2;
-    const double mag = 24.0 * epsilon * s6 * (2.0 * s6 - 1.0) / (r2 + 1e-12);
+    return 24.0 * epsilon * s6 * (2.0 * s6 - 1.0) / r2g;
+  }
+  PairForce force(double dx, double dy, double r2, const Particle&, const Particle&) const noexcept {
+    const double mag = magnitude(r2, 1.0);
     return {mag * dx, mag * dy};
   }
   double potential(double r2, const Particle&, const Particle&) const noexcept {
-    const double s2 = sigma * sigma / (r2 + 1e-12);
+    const double s2 = sigma * sigma / (r2 + kMinR2);
     const double s6 = s2 * s2 * s2;
     return 4.0 * epsilon * s6 * (s6 - 1.0);
   }
@@ -98,14 +157,33 @@ struct Yukawa {
   double screening_length = 0.1;
   double softening = 1e-3;
 
-  PairForce force(double dx, double dy, double r2, const Particle& a,
-                  const Particle& b) const noexcept {
-    const double c = strength * static_cast<double>(a.charge) * static_cast<double>(b.charge);
+  static constexpr Coupling kCoupling = Coupling::Charge;
+
+  /// d/dr [ c e^{-r/L} / r ] gives magnitude c e^{-r/L} (1/r^2 + 1/(L r)).
+  double magnitude(double r2, double coupling) const noexcept {
+    const double c = strength * coupling;
     const double d2 = r2 + softening * softening;
     const double r = std::sqrt(d2);
     const double screen = std::exp(-r / screening_length);
-    // d/dr [ c e^{-r/L} / r ] gives magnitude c e^{-r/L} (1/r^2 + 1/(L r)).
-    const double mag = c * screen * (1.0 / d2 + 1.0 / (screening_length * r)) / r;
+    return c * screen * (1.0 / d2 + 1.0 / (screening_length * r)) / r;
+  }
+  /// Lane-batched `magnitude`: same arithmetic, with the exp hoisted into
+  /// its own loop so the other two loops auto-vectorize.
+  void magnitude_lanes(const double* r2, const double* coupling, double* out,
+                       std::size_t n) const noexcept {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = -std::sqrt(r2[i] + softening * softening) / screening_length;
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(out[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = strength * coupling[i];
+      const double d2 = r2[i] + softening * softening;
+      const double r = std::sqrt(d2);
+      out[i] = c * out[i] * (1.0 / d2 + 1.0 / (screening_length * r)) / r;
+    }
+  }
+  PairForce force(double dx, double dy, double r2, const Particle& a,
+                  const Particle& b) const noexcept {
+    const double mag = magnitude(r2, pair_coupling<Yukawa>(a, b));
     return {mag * dx, mag * dy};
   }
   double potential(double r2, const Particle& a, const Particle& b) const noexcept {
@@ -122,15 +200,31 @@ struct Morse {
   double width = 2.0;      ///< a: inverse width
   double r0 = 0.5;         ///< equilibrium distance
 
-  PairForce force(double dx, double dy, double r2, const Particle&, const Particle&) const noexcept {
-    const double r = std::sqrt(r2 + 1e-12);
+  static constexpr Coupling kCoupling = Coupling::None;
+
+  /// -dU/dr = -2 D a e (1 - e); positive magnitude pushes apart (r < r0).
+  double magnitude(double r2, double /*coupling*/) const noexcept {
+    const double r = std::sqrt(r2 + kMinR2);
     const double e = std::exp(-width * (r - r0));
-    // -dU/dr = -2 D a e (1 - e); positive magnitude pushes apart (r < r0).
-    const double mag = -2.0 * depth * width * e * (1.0 - e) / r;
+    return -2.0 * depth * width * e * (1.0 - e) / r;
+  }
+  /// Lane-batched `magnitude`: same arithmetic, with the exp hoisted into
+  /// its own loop so the other two loops auto-vectorize.
+  void magnitude_lanes(const double* r2, const double* /*coupling*/, double* out,
+                       std::size_t n) const noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = -width * (std::sqrt(r2[i] + kMinR2) - r0);
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(out[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = out[i];
+      out[i] = -2.0 * depth * width * e * (1.0 - e) / std::sqrt(r2[i] + kMinR2);
+    }
+  }
+  PairForce force(double dx, double dy, double r2, const Particle&, const Particle&) const noexcept {
+    const double mag = magnitude(r2, 1.0);
     return {mag * dx, mag * dy};
   }
   double potential(double r2, const Particle&, const Particle&) const noexcept {
-    const double r = std::sqrt(r2 + 1e-12);
+    const double r = std::sqrt(r2 + kMinR2);
     const double e = std::exp(-width * (r - r0));
     return depth * (1.0 - e) * (1.0 - e) - depth;
   }
@@ -141,10 +235,18 @@ struct SoftSphere {
   double stiffness = 100.0;
   double radius = 0.05;
 
+  static constexpr Coupling kCoupling = Coupling::None;
+
+  /// Branch-free contact force: std::max clamps the overlap to zero at or
+  /// beyond the contact radius, and the kMinR2 guard keeps coincident
+  /// particles finite (their dx = dy = 0, so the force is still zero).
+  double magnitude(double r2, double /*coupling*/) const noexcept {
+    const double r = std::sqrt(r2 + kMinR2);
+    const double overlap = std::max(radius - r, 0.0);
+    return stiffness * overlap / r;
+  }
   PairForce force(double dx, double dy, double r2, const Particle&, const Particle&) const noexcept {
-    const double r = std::sqrt(r2);
-    if (r >= radius || r <= 0.0) return {};
-    const double mag = stiffness * (radius - r) / r;
+    const double mag = magnitude(r2, 1.0);
     return {mag * dx, mag * dy};
   }
   double potential(double r2, const Particle&, const Particle&) const noexcept {

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "particles/batched_engine.hpp"
 #include "particles/cell_list.hpp"
 #include "particles/integrator.hpp"
 #include "particles/kernels.hpp"
@@ -23,6 +24,7 @@ class SerialReference {
     double dt = 1e-3;
     double cutoff = 0.0;          ///< 0 = all-pairs
     bool use_cell_list = false;   ///< only meaningful with a cutoff
+    KernelEngine engine = KernelEngine::Scalar;  ///< host-side sweep implementation
   };
 
   SerialReference(Block particles, Config cfg)
@@ -35,10 +37,12 @@ class SerialReference {
   void compute_forces() {
     clear_forces(ps_);
     if (cfg_.cutoff > 0.0 && cfg_.use_cell_list) {
-      cell_list_forces(std::span<Particle>(ps_), cfg_.box, cfg_.kernel, cfg_.cutoff);
+      cell_list_forces(std::span<Particle>(ps_), cfg_.box, cfg_.kernel, cfg_.cutoff,
+                       cfg_.engine);
     } else {
-      accumulate_forces(std::span<Particle>(ps_), std::span<const Particle>(ps_), cfg_.box,
-                        cfg_.kernel, cfg_.cutoff);
+      accumulate_forces_with(cfg_.engine, std::span<Particle>(ps_),
+                             std::span<const Particle>(ps_), cfg_.box, cfg_.kernel,
+                             cfg_.cutoff);
     }
   }
 

@@ -1,0 +1,65 @@
+#include "particles/soa_tile.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb::particles {
+
+namespace {
+
+void resize_lanes(SoaTile& t, std::size_t n) {
+  t.x.resize(n);
+  t.y.resize(n);
+  t.charge.resize(n);
+  t.mass.resize(n);
+  t.id.resize(n);
+  t.fx.assign(n, 0.0);
+  t.fy.assign(n, 0.0);
+}
+
+}  // namespace
+
+void SoaTile::pack(std::span<const Particle> ps, const Box& box) {
+  resize_lanes(*this, ps.size());
+  const bool two_d = box.dims == 2;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const Particle& p = ps[i];
+    x[i] = static_cast<double>(p.px);
+    y[i] = two_d ? static_cast<double>(p.py) : 0.0;
+    charge[i] = static_cast<double>(p.charge);
+    mass[i] = static_cast<double>(p.mass);
+    id[i] = p.id;
+  }
+}
+
+void SoaTile::pack_gather(std::span<const Particle> ps, std::span<const int> idx,
+                          const Box& box) {
+  resize_lanes(*this, idx.size());
+  const bool two_d = box.dims == 2;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Particle& p = ps[static_cast<std::size_t>(idx[i])];
+    x[i] = static_cast<double>(p.px);
+    y[i] = two_d ? static_cast<double>(p.py) : 0.0;
+    charge[i] = static_cast<double>(p.charge);
+    mass[i] = static_cast<double>(p.mass);
+    id[i] = p.id;
+  }
+}
+
+void SoaTile::scatter_add_forces(std::span<Particle> ps) const {
+  CANB_ASSERT(ps.size() == size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i].fx += static_cast<float>(fx[i]);
+    ps[i].fy += static_cast<float>(fy[i]);
+  }
+}
+
+void SoaTile::scatter_add_forces(std::span<Particle> ps, std::span<const int> idx) const {
+  CANB_ASSERT(idx.size() == size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    auto& p = ps[static_cast<std::size_t>(idx[i])];
+    p.fx += static_cast<float>(fx[i]);
+    p.fy += static_cast<float>(fy[i]);
+  }
+}
+
+}  // namespace canb::particles

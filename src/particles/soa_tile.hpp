@@ -1,0 +1,44 @@
+// Structure-of-arrays particle tile for the batched kernel engine.
+//
+// The 52-byte AoS Particle record is the unit that travels between virtual
+// ranks (the paper fixes its size), but it is a poor shape for the host-side
+// O(n^2/p) force sweep: every pair touches four fields at a 52-byte stride
+// and the compiler cannot vectorize across records. A SoaTile repacks a
+// Block into contiguous double lanes (positions promoted once, instead of
+// per pair) plus an id lane for the self-pair mask, with double-precision
+// force accumulators that are scattered back as one float store per target.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "particles/box.hpp"
+#include "particles/particle.hpp"
+
+namespace canb::particles {
+
+struct SoaTile {
+  std::vector<double> x, y;            ///< positions (y forced to 0 in 1D)
+  std::vector<double> charge, mass;    ///< coupling lanes
+  std::vector<std::int32_t> id;        ///< self-pair mask lane
+  std::vector<double> fx, fy;          ///< double accumulators (targets only)
+
+  std::size_t size() const noexcept { return id.size(); }
+
+  /// Repacks the whole span; zeroes the force accumulators. In 1D boxes the
+  /// y lane is zeroed so dy vanishes without a per-pair dimensionality test.
+  void pack(std::span<const Particle> ps, const Box& box);
+
+  /// Gathered pack: lane i holds ps[idx[i]] (the cell-list neighborhood path).
+  void pack_gather(std::span<const Particle> ps, std::span<const int> idx, const Box& box);
+
+  /// Adds the accumulated forces back into the records, one float store per
+  /// target: ps[i].fx += float(fx[i]). Sizes must match the packed span.
+  void scatter_add_forces(std::span<Particle> ps) const;
+
+  /// Gathered scatter: ps[idx[i]] receives lane i's accumulated force.
+  void scatter_add_forces(std::span<Particle> ps, std::span<const int> idx) const;
+};
+
+}  // namespace canb::particles

@@ -52,6 +52,9 @@ class Simulation {
     double cutoff = 0.0;  ///< required > 0 for Method::CaCutoff
     double dt = 1e-3;
     std::string integrator = "velocity-verlet";
+    /// Host-side force sweep implementation (see particles/batched_engine.hpp).
+    /// Affects host wall time only: the virtual-time ledger is engine-invariant.
+    particles::KernelEngine engine = particles::KernelEngine::Scalar;
   };
 
   Simulation(Config cfg, particles::Block initial)
@@ -118,7 +121,7 @@ class Simulation {
 
   static EngineVariant make_engine(const Config& cfg, particles::Block initial) {
     cfg.box.validate();
-    Policy policy(typename Policy::Config{cfg.box, cfg.kernel, cfg.cutoff, cfg.dt});
+    Policy policy(typename Policy::Config{cfg.box, cfg.kernel, cfg.cutoff, cfg.dt, cfg.engine});
     switch (cfg.method) {
       case Method::CaAllPairs: {
         const int q = cfg.p / cfg.c;

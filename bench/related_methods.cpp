@@ -33,7 +33,8 @@ Policy make_policy(const Box& box) {
   return Policy({box, InverseSquareRepulsion{1e-4, 1e-2}, kCutoff, 1e-4});
 }
 
-Block sorted(std::vector<Block> blocks) {
+template <class Blocks>
+Block sorted(const Blocks& blocks) {
   auto all = decomp::concat(blocks);
   particles::sort_by_id(all);
   return all;

@@ -12,10 +12,13 @@
 //   --workload    uniform | lattice | clusters | gradient | two-stream
 //   --cutoff      cutoff radius (required by the cutoff methods)
 //   --restart     resume from a checkpoint written by --checkpoint
-//   --threads     host threads for the force loops (ca methods)
+//   --threads     host threads for the force loops (ca methods);
+//                 0 = auto-detect (std::thread::hardware_concurrency)
 //   --engine      scalar | batched host force sweep (virtual time unchanged)
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/autotuner.hpp"
 #include "machine/presets.hpp"
@@ -100,7 +103,13 @@ int main(int argc, char** argv) {
   }
 
   Sim simulation(cfg, std::move(initial));
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  int threads = static_cast<int>(args.get_int("threads", 1));
+  if (threads == 0) {
+    // --threads=0: use every hardware thread (minimum 1 when the runtime
+    // cannot tell, which hardware_concurrency signals by returning 0).
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    std::cout << "auto-detected " << threads << " host threads\n";
+  }
   if (threads > 1) simulation.set_host_pool(std::make_shared<ThreadPool>(threads));
 
   std::unique_ptr<sim::TrajectoryWriter> xyz;

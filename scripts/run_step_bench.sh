@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the end-to-end step-throughput bench with the native-arch bench
+# flags and regenerate BENCH_step.json at the repo root.
+#
+# Usage:
+#     scripts/run_step_bench.sh [build-dir] [extra step_bench args...]
+#
+# The bench drives sim::Simulation (full timestep: staging collectives,
+# force sweeps, reduce, integrate, re-assign) for the cutoff and all-pairs
+# configurations at both kernel engines and 1/4 host threads, and records
+# host steps/sec per case. CANB_NATIVE_ARCH affects bench targets only, so
+# the library/tests in the build dir stay portable.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCANB_NATIVE_ARCH=ON
+cmake --build "${build_dir}" --target step_bench -j "$(nproc)"
+
+"${build_dir}/bench/step_bench" \
+    --out="${repo_root}/BENCH_step.json" "$@"

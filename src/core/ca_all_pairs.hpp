@@ -63,6 +63,15 @@ class CaAllPairs {
       resident_[static_cast<std::size_t>(grid_.leader(t))] = std::move(team_blocks[static_cast<std::size_t>(t)]);
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer (the AoS blocks decomp::split_* produce) and converts
+  /// once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  CaAllPairs(Config cfg, Policy policy, std::vector<B> team_blocks)
+      : CaAllPairs(std::move(cfg), std::move(policy),
+                   convert_blocks<Buffer>(std::move(team_blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }

@@ -81,6 +81,15 @@ class CaCutoff {
     }
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer (the AoS blocks decomp::split_spatial_* produce) and
+  /// converts once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  CaCutoff(Config cfg, Policy policy, std::vector<B> team_blocks)
+      : CaCutoff(std::move(cfg), std::move(policy),
+                 convert_blocks<Buffer>(std::move(team_blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }

@@ -36,7 +36,7 @@ template <particles::ForceKernel K>
 class MidpointMethod {
  public:
   using Policy = RealPolicy<K>;
-  using Buffer = particles::Block;
+  using Buffer = typename Policy::Buffer;
 
   struct Config {
     int p = 1;
@@ -59,6 +59,12 @@ class MidpointMethod {
     CANB_REQUIRE(static_cast<int>(team_blocks.size()) == cfg_.p, "need one block per rank");
     resident_ = std::move(team_blocks);
   }
+
+  /// Converting constructor: accepts the AoS blocks decomp::split_* produce
+  /// (one layout conversion at setup time).
+  MidpointMethod(Config cfg, Policy policy, std::vector<particles::Block> team_blocks)
+      : MidpointMethod(std::move(cfg), std::move(policy),
+                       convert_blocks<Buffer>(std::move(team_blocks))) {}
 
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
@@ -119,28 +125,30 @@ class MidpointMethod {
     }
   }
 
-  /// Owner of the midpoint of two particles. Under periodic boundaries the
-  /// midpoint follows the minimum image: walking half the (wrapped)
-  /// displacement back from `a`, then wrapping into the box — a pair
-  /// straddling the seam has its midpoint at the seam, not mid-box.
-  int midpoint_owner(const particles::Particle& a, double dx, double dy) const {
+  /// Owner of the midpoint of two particles at (ax, ay) and (ax - dx,
+  /// ay - dy). Under periodic boundaries the midpoint follows the minimum
+  /// image: walking half the (wrapped) displacement back from the first
+  /// particle, then wrapping into the box — a pair straddling the seam has
+  /// its midpoint at the seam, not mid-box. The midpoint rounds through
+  /// float before the ownership test, as a materialized wire-format
+  /// particle would.
+  int midpoint_owner(double ax, double ay, double dx, double dy) const {
     const auto& box = policy_.box();
     auto wrap = [](double x, double l) {
       if (x < 0.0) x += l;
       if (x >= l) x -= l;
       return x;
     };
-    particles::Particle mid;
-    double mx = static_cast<double>(a.px) - dx / 2.0;
-    double my_ = static_cast<double>(a.py) - dy / 2.0;
+    double mx = ax - dx / 2.0;
+    double my_ = ay - dy / 2.0;
     if (box.boundary == particles::Boundary::Periodic) {
       mx = wrap(mx, box.lx);
       if (box.dims == 2) my_ = wrap(my_, box.ly);
     }
-    mid.px = static_cast<float>(mx);
-    mid.py = static_cast<float>(my_);
-    if (cfg_.geometry.dims() == 1) return decomp::team_of_1d(mid, box, cfg_.geometry.qx());
-    return decomp::team_of_2d(mid, box, cfg_.geometry.qx(), cfg_.geometry.qy());
+    mx = static_cast<double>(static_cast<float>(mx));
+    my_ = static_cast<double>(static_cast<float>(my_));
+    if (cfg_.geometry.dims() == 1) return decomp::team_of_1d(mx, box, cfg_.geometry.qx());
+    return decomp::team_of_2d(mx, my_, box, cfg_.geometry.qx(), cfg_.geometry.qy());
   }
 
   void compute_midpoint_pairs() {
@@ -170,20 +178,50 @@ class MidpointMethod {
           const int w = import_.wrap_team(t, ow);
           auto& bv = resident_[static_cast<std::size_t>(v)];
           auto& bw = resident_[static_cast<std::size_t>(w)];
-          for (auto& a : bv) {
-            for (auto& b : bw) {
-              if (v == w && a.id >= b.id) continue;  // each intra pair once
+          const bool periodic = box.boundary == particles::Boundary::Periodic;
+          const bool two_d = box.dims == 2;
+          const std::size_t nv = bv.size();
+          const std::size_t nw = bw.size();
+          for (std::size_t i = 0; i < nv; ++i) {
+            const double ax = static_cast<double>(bv.px[i]);
+            const double ay = two_d ? static_cast<double>(bv.py[i]) : 0.0;
+            for (std::size_t j = 0; j < nw; ++j) {
+              if (v == w && bv.id[i] >= bw.id[j]) continue;  // each intra pair once
               ++examined;
-              const auto [dx, dy] = particles::pair_delta(a, b, box);
+              double dx = ax - static_cast<double>(bw.px[j]);
+              double dy = two_d ? ay - static_cast<double>(bw.py[j]) : 0.0;
+              if (periodic) {
+                if (dx > 0.5 * box.lx)
+                  dx -= box.lx;
+                else if (dx < -0.5 * box.lx)
+                  dx += box.lx;
+                if (two_d) {
+                  if (dy > 0.5 * box.ly)
+                    dy -= box.ly;
+                  else if (dy < -0.5 * box.ly)
+                    dy += box.ly;
+                }
+              }
               const double r2 = dx * dx + dy * dy;
               if (cutoff2 > 0.0 && r2 > cutoff2) continue;
-              if (midpoint_owner(a, dx, dy) != t) continue;  // someone else's pair
-              const auto f = kernel.force(dx, dy, r2, a, b);
-              a.fx += static_cast<float>(f.fx);
-              a.fy += static_cast<float>(f.fy);
-              // Antisymmetry: the owner applies the reaction too.
-              b.fx -= static_cast<float>(f.fx);
-              b.fy -= static_cast<float>(f.fy);
+              if (midpoint_owner(static_cast<double>(bv.px[i]), static_cast<double>(bv.py[i]),
+                                 dx, dy) != t)
+                continue;  // someone else's pair
+              const double mag =
+                  kernel.magnitude(r2, particles::lane_coupling<K>(bv, i, bw, j));
+              const double ffx = mag * dx;
+              const double ffy = mag * dy;
+              // Per-pair float folds at the AoS pipeline's rounding points
+              // (see the precision invariant in batched_engine.hpp);
+              // antisymmetry: the owner applies the reaction too.
+              bv.fx[i] = static_cast<double>(static_cast<float>(bv.fx[i]) +
+                                             static_cast<float>(ffx));
+              bv.fy[i] = static_cast<double>(static_cast<float>(bv.fy[i]) +
+                                             static_cast<float>(ffy));
+              bw.fx[j] = static_cast<double>(static_cast<float>(bw.fx[j]) -
+                                             static_cast<float>(ffx));
+              bw.fy[j] = static_cast<double>(static_cast<float>(bw.fy[j]) -
+                                             static_cast<float>(ffy));
             }
           }
         }

@@ -17,11 +17,15 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "particles/batched_engine.hpp"
 #include "particles/integrator.hpp"
 #include "particles/kernels.hpp"
 #include "particles/particle.hpp"
+#include "particles/soa_block.hpp"
 #include "support/assert.hpp"
 
 namespace canb::core {
@@ -35,10 +39,29 @@ struct InteractStats {
 /// MachineModel::gamma_flop; identical in both modes).
 inline constexpr double kIntegrateFlopsPerParticle = 12.0;
 
+/// Converts a vector of blocks into the policy's Buffer type (identity when
+/// they already match). The engines' converting constructors funnel through
+/// this, so the decomp::split_* call sites keep handing over AoS Block
+/// vectors and pay exactly one layout conversion at setup time.
+template <class Buffer, class B>
+std::vector<Buffer> convert_blocks(std::vector<B> blocks) {
+  if constexpr (std::is_same_v<Buffer, B>) {
+    return blocks;
+  } else {
+    std::vector<Buffer> out;
+    out.reserve(blocks.size());
+    for (auto& b : blocks) out.emplace_back(std::move(b));
+    return out;
+  }
+}
+
 template <particles::ForceKernel K>
 class RealPolicy {
  public:
-  using Buffer = particles::Block;
+  /// The resident representation *is* the kernel-ready SoA layout: the
+  /// buffers vmpi primitives shift, skew, broadcast, and reduce feed the
+  /// sweeps directly, with no per-sweep gather or scatter.
+  using Buffer = particles::SoaBlock;
   static constexpr bool kIsPhantom = false;
 
   struct Config {
@@ -58,17 +81,20 @@ class RealPolicy {
   static std::uint64_t count(const Buffer& b) noexcept { return b.size(); }
 
   InteractStats interact(Buffer& resident, const Buffer& visitor, bool /*same_block*/) const {
-    const auto stats = particles::accumulate_forces_with(
-        cfg_.engine, std::span<particles::Particle>(resident),
-        std::span<const particles::Particle>(visitor), cfg_.box, cfg_.kernel, cfg_.cutoff);
+    const auto stats = particles::interact_blocks(cfg_.engine, resident, visitor, cfg_.box,
+                                                  cfg_.kernel, cfg_.cutoff);
     return {stats.examined};
   }
 
   /// Sums force accumulators of `in` into `acc` (team reduction combine).
+  /// Each add folds through float — the AoS combine summed float fields —
+  /// preserving the force-lane precision invariant (batched_engine.hpp).
   static void combine(Buffer& acc, const Buffer& in) {
     for (std::size_t i = 0; i < acc.size(); ++i) {
-      acc[i].fx += in[i].fx;
-      acc[i].fy += in[i].fy;
+      acc.fx[i] = static_cast<double>(static_cast<float>(acc.fx[i]) +
+                                      static_cast<float>(in.fx[i]));
+      acc.fy[i] = static_cast<double>(static_cast<float>(acc.fy[i]) +
+                                      static_cast<float>(in.fy[i]));
     }
   }
 

@@ -23,12 +23,12 @@ namespace canb::core {
 
 namespace detail {
 
-/// Axis coordinate of the team that owns particle `p` under the geometry's
-/// spatial split of `box`.
-inline int target_axis_coord(const particles::Particle& p, int axis, const CutoffGeometry& geom,
+/// Axis coordinate of the team that owns position (px, py) under the
+/// geometry's spatial split of `box` (reads straight off position lanes).
+inline int target_axis_coord(double px, double py, int axis, const CutoffGeometry& geom,
                              const particles::Box& box) {
-  if (geom.dims() == 1) return decomp::team_of_1d(p, box, geom.qx());
-  const int col = decomp::team_of_2d(p, box, geom.qx(), geom.qy());
+  if (geom.dims() == 1) return decomp::team_of_1d(px, box, geom.qx());
+  const int col = decomp::team_of_2d(px, py, box, geom.qx(), geom.qy());
   return axis == 0 ? col % geom.qx() : col / geom.qx();
 }
 
@@ -57,7 +57,7 @@ void exchange_lists(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const Cutof
     const int src_col = geom.wrap_team(t, off);
     auto& incoming = lists[static_cast<std::size_t>(src_col)];
     auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
-    blk.insert(blk.end(), incoming.begin(), incoming.end());
+    blk.append(incoming);
   }
 }
 
@@ -77,16 +77,21 @@ void route_axis(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeo
       Buffer keep;
       keep.reserve(blk.size());
       const int here = axis == 0 ? t % geom.qx() : t / geom.qx();
-      for (auto& p : blk) {
-        const int target = target_axis_coord(p, axis, geom, box);
+      // Lane partition: ownership reads only the position lanes, and the
+      // routed particles move lane-exactly via append_from (no wire-format
+      // round trip on a host-local split).
+      const std::size_t n = blk.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const int target = target_axis_coord(static_cast<double>(blk.px[i]),
+                                             static_cast<double>(blk.py[i]), axis, geom, box);
         if (target > here) {
-          plus[static_cast<std::size_t>(t)].push_back(p);
+          plus[static_cast<std::size_t>(t)].append_from(blk, i);
           any = true;
         } else if (target < here) {
-          minus[static_cast<std::size_t>(t)].push_back(p);
+          minus[static_cast<std::size_t>(t)].append_from(blk, i);
           any = true;
         } else {
-          keep.push_back(p);
+          keep.append_from(blk, i);
         }
       }
       blk.swap(keep);

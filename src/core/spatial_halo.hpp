@@ -47,6 +47,14 @@ class SpatialHaloDecomposition {
     resident_ = std::move(team_blocks);
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer and converts once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  SpatialHaloDecomposition(Config cfg, Policy policy, std::vector<B> team_blocks)
+      : SpatialHaloDecomposition(std::move(cfg), std::move(policy),
+                                 convert_blocks<Buffer>(std::move(team_blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }

@@ -55,6 +55,14 @@ class ForceDecomposition {
     }
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer and converts once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  ForceDecomposition(Config cfg, Policy policy, std::vector<B> blocks)
+      : ForceDecomposition(std::move(cfg), std::move(policy),
+                           core::convert_blocks<Buffer>(std::move(blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }

@@ -45,6 +45,14 @@ class ParticleDecompositionRing {
     carried_.resize(static_cast<std::size_t>(cfg_.p));
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer and converts once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  ParticleDecompositionRing(Config cfg, Policy policy, std::vector<B> blocks)
+      : ParticleDecompositionRing(std::move(cfg), std::move(policy),
+                                  core::convert_blocks<Buffer>(std::move(blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }
@@ -128,6 +136,14 @@ class ParticleDecompositionAllGather {
     resident_ = std::move(blocks);
   }
 
+  /// Converting constructor: accepts blocks in a different layout than the
+  /// policy's Buffer and converts once at setup time.
+  template <class B>
+    requires(!std::is_same_v<B, Buffer> && std::is_constructible_v<Buffer, B>)
+  ParticleDecompositionAllGather(Config cfg, Policy policy, std::vector<B> blocks)
+      : ParticleDecompositionAllGather(std::move(cfg), std::move(policy),
+                                       core::convert_blocks<Buffer>(std::move(blocks))) {}
+
   void set_integrator(std::unique_ptr<particles::Integrator> integ) {
     integrator_ = std::move(integ);
   }
@@ -144,7 +160,7 @@ class ParticleDecompositionAllGather {
                                  /*is_reduce=*/false);
     if constexpr (!Policy::kIsPhantom) {
       Buffer all;
-      for (const auto& b : resident_) all.insert(all.end(), b.begin(), b.end());
+      for (const auto& b : resident_) all.append(b);
       for (int r = 0; r < cfg_.p; ++r) {
         auto& mine = resident_[static_cast<std::size_t>(r)];
         const auto stats = policy_.interact(mine, all, /*same_block=*/false);

@@ -27,17 +27,25 @@ std::vector<Block> split_even(const Block& all, int q) {
   return out;
 }
 
-int team_of_1d(const Particle& p, const Box& box, int q) {
-  int t = static_cast<int>(static_cast<double>(p.px) / box.lx * q);
+int team_of_1d(double px, const Box& box, int q) {
+  int t = static_cast<int>(px / box.lx * q);
   return std::clamp(t, 0, q - 1);
 }
 
-int team_of_2d(const Particle& p, const Box& box, int qx, int qy) {
-  int tx = static_cast<int>(static_cast<double>(p.px) / box.lx * qx);
-  int ty = static_cast<int>(static_cast<double>(p.py) / box.ly * qy);
+int team_of_1d(const Particle& p, const Box& box, int q) {
+  return team_of_1d(static_cast<double>(p.px), box, q);
+}
+
+int team_of_2d(double px, double py, const Box& box, int qx, int qy) {
+  int tx = static_cast<int>(px / box.lx * qx);
+  int ty = static_cast<int>(py / box.ly * qy);
   tx = std::clamp(tx, 0, qx - 1);
   ty = std::clamp(ty, 0, qy - 1);
   return ty * qx + tx;
+}
+
+int team_of_2d(const Particle& p, const Box& box, int qx, int qy) {
+  return team_of_2d(static_cast<double>(p.px), static_cast<double>(p.py), box, qx, qy);
 }
 
 std::vector<Block> split_spatial_1d(const Block& all, const Box& box, int q) {
@@ -62,6 +70,16 @@ Block concat(const std::vector<Block>& blocks) {
   for (const auto& b : blocks) total += b.size();
   out.reserve(total);
   for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Block concat(const std::vector<particles::SoaBlock>& blocks) {
+  Block out;
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  out.reserve(total);
+  for (const auto& b : blocks)
+    for (std::size_t i = 0; i < b.size(); ++i) out.push_back(b.get(i));
   return out;
 }
 

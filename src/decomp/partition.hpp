@@ -8,6 +8,7 @@
 
 #include "particles/box.hpp"
 #include "particles/particle.hpp"
+#include "particles/soa_block.hpp"
 
 namespace canb::decomp {
 
@@ -23,14 +24,23 @@ std::vector<particles::Block> split_spatial_1d(const particles::Block& all,
 std::vector<particles::Block> split_spatial_2d(const particles::Block& all,
                                                const particles::Box& box, int qx, int qy);
 
+/// Team that owns position `px` under the 1D split (lane variant: takes the
+/// coordinate straight off a SoA position lane, promoted to double).
+int team_of_1d(double px, const particles::Box& box, int q);
 /// Team that owns the position of `p` under the 1D split.
 int team_of_1d(const particles::Particle& p, const particles::Box& box, int q);
 
+/// Team that owns position (px, py) under the 2D split (lane variant).
+int team_of_2d(double px, double py, const particles::Box& box, int qx, int qy);
 /// Team that owns the position of `p` under the 2D split.
 int team_of_2d(const particles::Particle& p, const particles::Box& box, int qx, int qy);
 
 /// Concatenates blocks back into one vector (order = block order).
 particles::Block concat(const std::vector<particles::Block>& blocks);
+
+/// SoA overload: materializes each block's particles in lane order (the
+/// engines' team_results now hand back resident SoaBlocks).
+particles::Block concat(const std::vector<particles::SoaBlock>& blocks);
 
 /// Per-block particle counts (phantom initialization from a real histogram).
 std::vector<std::uint64_t> block_counts(const std::vector<particles::Block>& blocks);

@@ -4,11 +4,16 @@
 // the *host* executes a block-block interaction. The α-β-γ ledger is charged
 // from the returned InteractionCount, so both engines must agree on
 // `examined`/`within_cutoff` exactly (bitwise) — tests enforce this. The
-// scalar path (particles::accumulate_forces) stays the exactness reference.
+// scalar path stays the exactness reference.
+//
+// The sweep is generic over its operand layout: resident SoaBlocks (float
+// lanes, promoted to double per load — an exact conversion the vectorizer
+// folds into the loads) and gathered SoaTiles (double lanes) share one
+// implementation, so the resident pipeline pays zero pack/scatter while the
+// cell-list path still gathers neighborhoods into tiles by index list.
 //
 // Inner-loop shape (the part compilers can vectorize):
-//  * sources live in a SoaTile and are swept in cache-resident tiles of
-//    kTileWidth lanes;
+//  * sources are swept in cache-resident tiles of kTileWidth lanes;
 //  * the minimum-image correction, self-pair test, and cutoff test are all
 //    arithmetic masks (compares producing 0.0/1.0), not branches;
 //  * masked-out lanes get their r2 pushed away from the singularity
@@ -16,7 +21,15 @@
 //    is multiplied by the mask — adding an exact 0.0 to the accumulator;
 //  * per-target accumulation runs in double and in source order, so active
 //    pairs produce the same sums as the scalar engine;
-//  * one float store per target happens at scatter time.
+//  * one store per target into the operand's force lanes.
+//
+// Force-lane precision invariant: resident SoaBlock force lanes hold
+// float-representable values at every phase boundary. Sweeps accumulate in
+// double *within* a call and fold the call's total through float on store —
+// exactly where the AoS pipeline stored to a float field. This keeps
+// trajectories (and therefore every position-dependent real-policy ledger
+// charge, e.g. re-assignment bytes) bitwise identical to the wire-format
+// pipeline, and makes the 52-byte serialization lossless at any time.
 #pragma once
 
 #include <algorithm>
@@ -24,21 +37,46 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <type_traits>
 
 #include "particles/kernels.hpp"
+#include "particles/soa_block.hpp"
 #include "particles/soa_tile.hpp"
 
 namespace canb::particles {
 
 /// Selects the host-side implementation of the block-block force sweep.
-/// Scalar is the original AoS loop (the exactness reference); Batched is the
-/// SoA tiled engine. Virtual-time results are identical by construction.
+/// Scalar is the original pairwise loop (the exactness reference); Batched
+/// is the SoA tiled engine. Virtual-time results are identical by
+/// construction.
 enum class KernelEngine { Scalar, Batched };
 
 const char* engine_name(KernelEngine e) noexcept;
 
 /// Parses "scalar" | "batched" (raises PreconditionError otherwise).
 KernelEngine parse_engine(const std::string& name);
+
+/// Caller-owned scratch tiles for the span-based sweep paths (the serial
+/// reference, benches, and the cell-list neighborhood gathers). Owning the
+/// scratch at the call site bounds its lifetime to the simulation using it —
+/// the previous thread_local tiles retained peak capacity per thread for the
+/// process lifetime across unrelated simulations.
+struct SweepScratch {
+  SoaTile targets;
+  SoaTile sources;
+};
+
+/// The coupling factor for a lane pair (same promotion as pair_coupling:
+/// each float lane widens to double before the product).
+template <class K, class TgtT, class SrcT>
+inline double lane_coupling(const TgtT& a, std::size_t i, const SrcT& b, std::size_t j) noexcept {
+  if constexpr (K::kCoupling == Coupling::Charge)
+    return static_cast<double>(a.charges()[i]) * static_cast<double>(b.charges()[j]);
+  else if constexpr (K::kCoupling == Coupling::Mass)
+    return static_cast<double>(a.masses()[i]) * static_cast<double>(b.masses()[j]);
+  else
+    return 1.0;
+}
 
 class BatchedEngine {
  public:
@@ -47,140 +85,309 @@ class BatchedEngine {
   static constexpr std::size_t kTileWidth = 128;
 
   /// Runs the tiled sweep of `src` against `tgt`, accumulating into the
-  /// tile's double fx/fy lanes. Pair semantics match the scalar engine:
-  /// same-id pairs are skipped, every other pair is examined, and only
-  /// pairs within the cutoff (all of them when cutoff <= 0) contribute.
-  template <ForceKernel K>
-  static InteractionCount sweep(SoaTile& tgt, const SoaTile& src, const Box& box,
-                                const K& kernel, double cutoff) {
+  /// target's double fx/fy lanes. Operands are anything exposing the shared
+  /// lane accessors (SoaBlock, SoaTile). Pair semantics match the scalar
+  /// engine: same-id pairs are skipped, every other pair is examined, and
+  /// only pairs within the cutoff (all of them when cutoff <= 0) contribute.
+  template <ForceKernel K, class TgtT, class SrcT>
+  static InteractionCount sweep(TgtT& tgt, const SrcT& src, const Box& box, const K& kernel,
+                                double cutoff) {
     const std::size_t nt = tgt.size();
     const std::size_t ns = src.size();
     const bool periodic = box.boundary == Boundary::Periodic;
     // Reflective boxes zero the wrap length, turning the minimum-image
-    // correction into an exact no-op without a per-pair branch.
+    // correction into an exact no-op without a per-pair branch; 1D boxes
+    // zero the y displacement the same way (multiply by 0.0).
     const double lxs = periodic ? box.lx : 0.0;
     const double lys = periodic && box.dims == 2 ? box.ly : 0.0;
+    const double dimy = box.dims == 2 ? 1.0 : 0.0;
     const double hx = 0.5 * box.lx;
     const double hy = 0.5 * box.ly;
     const double cut2 =
         cutoff > 0.0 ? cutoff * cutoff : std::numeric_limits<double>::infinity();
 
-    const double* const sx = src.x.data();
-    const double* const sy = src.y.data();
-    const std::int32_t* const sid = src.id.data();
-    const double* scpl = nullptr;
-    if constexpr (K::kCoupling == Coupling::Charge) scpl = src.charge.data();
-    if constexpr (K::kCoupling == Coupling::Mass) scpl = src.mass.data();
+    const auto* const sx = src.xs();
+    const auto* const sy = src.ys();
+    const std::int32_t* const sid = src.ids();
+    decltype(src.charges()) scpl = nullptr;
+    if constexpr (K::kCoupling == Coupling::Charge) scpl = src.charges();
+    if constexpr (K::kCoupling == Coupling::Mass) scpl = src.masses();
+
+    const auto* const tx = tgt.xs();
+    const auto* const ty = tgt.ys();
+    const std::int32_t* const tid = tgt.ids();
+    double* const tfx = tgt.fxs();
+    double* const tfy = tgt.fys();
+
+    // Source-tile bounding boxes for the cutoff cull below. A culled tile is
+    // one where a conservative lower bound on the min-image distance from
+    // the target to the tile's bbox already exceeds the cutoff: every lane's
+    // mask would be 0.0 and its force contribution an exact ±0.0, so
+    // skipping the tile leaves force sums bitwise unchanged (a sum that
+    // starts at +0.0 is unaffected by adding signed zeros). `within` gains
+    // nothing and `examined` only needs the id compares, so the ledger is
+    // bitwise identical too — the cull elides only sqrt/divide work.
+    constexpr std::size_t kMaxCullTiles = 256;
+    const std::size_t ntiles = (ns + kTileWidth - 1) / kTileWidth;
+    const bool cull = cutoff > 0.0 && ns > 0 && ntiles <= kMaxCullTiles;
+    double bminx[kMaxCullTiles];
+    double bmaxx[kMaxCullTiles];
+    double bminy[kMaxCullTiles];
+    double bmaxy[kMaxCullTiles];
+    if (cull) {
+      for (std::size_t b = 0; b < ntiles; ++b) {
+        const std::size_t j0 = b * kTileWidth;
+        const std::size_t len = std::min(kTileWidth, ns - j0);
+        double mnx = static_cast<double>(sx[j0]);
+        double mxx = mnx;
+        double mny = static_cast<double>(sy[j0]);
+        double mxy = mny;
+        for (std::size_t t = 1; t < len; ++t) {
+          const double x = static_cast<double>(sx[j0 + t]);
+          const double y = static_cast<double>(sy[j0 + t]);
+          mnx = std::min(mnx, x);
+          mxx = std::max(mxx, x);
+          mny = std::min(mny, y);
+          mxy = std::max(mxy, y);
+        }
+        bminx[b] = mnx;
+        bmaxx[b] = mxx;
+        bminy[b] = mny;
+        bmaxy[b] = mxy;
+      }
+    }
+    // Lower bound on the min-image |d| from point v to interval [lo, hi]:
+    // direct distance when reflective; under wrap, min-image(|diff|) >=
+    // min(d_lo, L - d_hi) for |diff| in [d_lo, d_hi] (clamped at 0).
+    const auto axis_bound = [](double v, double lo, double hi, double wrap) noexcept {
+      const double dlo = v < lo ? lo - v : (v > hi ? v - hi : 0.0);
+      if (wrap <= 0.0) return dlo;
+      const double dhi = std::max(v < lo ? hi - v : v - lo, hi - lo);
+      return std::max(0.0, std::min(dlo, wrap - dhi));
+    };
 
     double examined = 0.0;
     double within = 0.0;
-    for (std::size_t j0 = 0; j0 < ns; j0 += kTileWidth) {
-      const std::size_t len = std::min(kTileWidth, ns - j0);
-      for (std::size_t i = 0; i < nt; ++i) {
-        const double xi = tgt.x[i];
-        const double yi = tgt.y[i];
-        const std::int32_t idi = tgt.id[i];
-        double ci = 1.0;
-        if constexpr (K::kCoupling == Coupling::Charge) ci = tgt.charge[i];
-        if constexpr (K::kCoupling == Coupling::Mass) ci = tgt.mass[i];
-
-        double gx[kTileWidth];
-        double gy[kTileWidth];
-        double gm[kTileWidth];
-        if constexpr (LaneBatchedKernel<K>) {
-          // Kernels with a libm call in `magnitude` (exp) get a split pass:
-          // geometry and masks into buffers (vectorizable), the kernel's own
-          // lane loop (which hoists the libm call so it doesn't clobber the
-          // vector registers mid-loop), then a vectorizable combine. Masked
-          // lanes still evaluate at r2g >= 1 and multiply to an exact 0.0.
-          double r2b[kTileWidth];
-          double mg[kTileWidth];
-          double cb[kTileWidth];
-          for (std::size_t t = 0; t < len; ++t) {
-            const std::size_t j = j0 + t;
-            double dx = xi - sx[j];
-            double dy = yi - sy[j];
-            dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
-            dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
-            const double r2 = dx * dx + dy * dy;
-            const double m =
-                static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
-            gx[t] = dx;
-            gy[t] = dy;
-            gm[t] = m;
-            r2b[t] = r2 + (1.0 - m);
-            if constexpr (K::kCoupling != Coupling::None) cb[t] = ci * scpl[j];
+    // Doubly tiled: targets advance in stack-accumulated chunks, source
+    // tiles run innermost so one tile stays L1-hot across the whole chunk.
+    // Each target still forms per-source-tile partial sums from zero and
+    // adds them in tile order — the same grouping a zeroed gather tile
+    // produced — so the single store per target below can fold the call's
+    // contribution at the right precision for the operand.
+    for (std::size_t i0 = 0; i0 < nt; i0 += kTileWidth) {
+      const std::size_t ilen = std::min(kTileWidth, nt - i0);
+      double accx[kTileWidth];
+      double accy[kTileWidth];
+      for (std::size_t ii = 0; ii < ilen; ++ii) accx[ii] = accy[ii] = 0.0;
+      for (std::size_t j0 = 0; j0 < ns; j0 += kTileWidth) {
+        const std::size_t len = std::min(kTileWidth, ns - j0);
+        for (std::size_t ii = 0; ii < ilen; ++ii) {
+          const std::size_t i = i0 + ii;
+          const double xi = static_cast<double>(tx[i]);
+          const double yi = static_cast<double>(ty[i]);
+          const std::int32_t idi = tid[i];
+          if (cull) {
+            const std::size_t b = j0 / kTileWidth;
+            const double bx = axis_bound(xi, bminx[b], bmaxx[b], lxs);
+            const double by =
+                dimy != 0.0 ? axis_bound(yi, bminy[b], bmaxy[b], lys) : 0.0;
+            // The (1 - 1e-9) slack absorbs the few-ulp rounding in the
+            // bound itself; a tile is only culled when provably out of
+            // range, so the per-pair masks it skips were all exactly 0.0.
+            if ((bx * bx + by * by) * (1.0 - 1e-9) > cut2) {
+              for (std::size_t t = 0; t < len; ++t)
+                examined += static_cast<double>(idi != sid[j0 + t]);
+              continue;
+            }
           }
-          kernel.magnitude_lanes(r2b, cb, mg, len);
-          for (std::size_t t = 0; t < len; ++t) {
-            const double mag = mg[t] * gm[t];
-            gx[t] *= mag;
-            gy[t] *= mag;
+          double ci = 1.0;
+          if constexpr (K::kCoupling == Coupling::Charge)
+            ci = static_cast<double>(tgt.charges()[i]);
+          if constexpr (K::kCoupling == Coupling::Mass)
+            ci = static_cast<double>(tgt.masses()[i]);
+          double gx[kTileWidth];
+          double gy[kTileWidth];
+          double gm[kTileWidth];
+          if constexpr (LaneBatchedKernel<K>) {
+            // Kernels with a libm call in `magnitude` (exp) get a split
+            // pass: geometry and masks into buffers (vectorizable), the
+            // kernel's own lane loop (which hoists the libm call so it
+            // doesn't clobber the vector registers mid-loop), then a
+            // vectorizable combine. Masked lanes still evaluate at
+            // r2g >= 1 and multiply to an exact 0.0.
+            double r2b[kTileWidth];
+            double mg[kTileWidth];
+            double cb[kTileWidth];
+            for (std::size_t t = 0; t < len; ++t) {
+              const std::size_t j = j0 + t;
+              double dx = xi - static_cast<double>(sx[j]);
+              double dy = dimy * (yi - static_cast<double>(sy[j]));
+              dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
+              dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
+              const double r2 = dx * dx + dy * dy;
+              const double m =
+                  static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
+              gx[t] = dx;
+              gy[t] = dy;
+              gm[t] = m;
+              r2b[t] = r2 + (1.0 - m);
+              if constexpr (K::kCoupling != Coupling::None)
+                cb[t] = ci * static_cast<double>(scpl[j]);
+            }
+            kernel.magnitude_lanes(r2b, cb, mg, len);
+            for (std::size_t t = 0; t < len; ++t) {
+              const double mag = mg[t] * gm[t];
+              gx[t] *= mag;
+              gy[t] *= mag;
+            }
+          } else {
+            // Pass 1: independent lanes, no cross-iteration state — this
+            // is the loop the auto-vectorizer packs.
+            for (std::size_t t = 0; t < len; ++t) {
+              const std::size_t j = j0 + t;
+              double dx = xi - static_cast<double>(sx[j]);
+              double dy = dimy * (yi - static_cast<double>(sy[j]));
+              dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
+              dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
+              const double r2 = dx * dx + dy * dy;
+              const double m =
+                  static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
+              const double r2g = r2 + (1.0 - m);
+              double cpl = 1.0;
+              if constexpr (K::kCoupling != Coupling::None)
+                cpl = ci * static_cast<double>(scpl[j]);
+              const double mag = kernel.magnitude(r2g, cpl) * m;
+              gx[t] = mag * dx;
+              gy[t] = mag * dy;
+              gm[t] = m;
+            }
           }
+          // Pass 2: in-order reduction, matching the scalar engine's
+          // source-order accumulation (masked lanes add an exact 0.0).
+          double fxi = 0.0;
+          double fyi = 0.0;
+          for (std::size_t t = 0; t < len; ++t) {
+            fxi += gx[t];
+            fyi += gy[t];
+            within += gm[t];
+            examined += static_cast<double>(idi != sid[j0 + t]);
+          }
+          accx[ii] += fxi;
+          accy[ii] += fyi;
+        }
+      }
+      for (std::size_t ii = 0; ii < ilen; ++ii) {
+        const std::size_t i = i0 + ii;
+        if constexpr (std::is_same_v<std::remove_cv_t<TgtT>, SoaBlock>) {
+          // Resident lanes: fold through float, where the AoS pipeline did
+          // `p.fx += float(total)` at scatter (see the precision invariant
+          // in the header comment).
+          tfx[i] =
+              static_cast<double>(static_cast<float>(tfx[i]) + static_cast<float>(accx[ii]));
+          tfy[i] =
+              static_cast<double>(static_cast<float>(tfy[i]) + static_cast<float>(accy[ii]));
         } else {
-          // Pass 1: independent lanes, no cross-iteration state — this is
-          // the loop the auto-vectorizer packs.
-          for (std::size_t t = 0; t < len; ++t) {
-            const std::size_t j = j0 + t;
-            double dx = xi - sx[j];
-            double dy = yi - sy[j];
-            dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
-            dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
-            const double r2 = dx * dx + dy * dy;
-            const double m =
-                static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
-            const double r2g = r2 + (1.0 - m);
-            double cpl = 1.0;
-            if constexpr (K::kCoupling != Coupling::None) cpl = ci * scpl[j];
-            const double mag = kernel.magnitude(r2g, cpl) * m;
-            gx[t] = mag * dx;
-            gy[t] = mag * dy;
-            gm[t] = m;
-          }
+          // Gather tiles round at scatter_add_forces, not here.
+          tfx[i] += accx[ii];
+          tfy[i] += accy[ii];
         }
-        // Pass 2: in-order reduction, matching the scalar engine's
-        // source-order accumulation (masked lanes add an exact 0.0).
-        double fxi = 0.0;
-        double fyi = 0.0;
-        for (std::size_t t = 0; t < len; ++t) {
-          fxi += gx[t];
-          fyi += gy[t];
-          within += gm[t];
-          examined += static_cast<double>(idi != sid[j0 + t]);
-        }
-        tgt.fx[i] += fxi;
-        tgt.fy[i] += fyi;
       }
     }
     return {static_cast<std::uint64_t>(examined), static_cast<std::uint64_t>(within)};
   }
 };
 
-/// Drop-in batched counterpart of particles::accumulate_forces: packs both
-/// spans into thread-local tiles, sweeps, and scatters the target forces
-/// back (one float store each). Thread-local scratch keeps this safe under
-/// the engines' host thread pools without per-call allocation.
+/// Scalar block-block sweep over resident SoA lanes: pair-for-pair the same
+/// traversal order, branch structure, and min-image arithmetic as the AoS
+/// particles::accumulate_forces, with the per-target double accumulation
+/// landing in the block's double force lanes.
 template <ForceKernel K>
-InteractionCount accumulate_forces_batched(std::span<Particle> targets,
-                                           std::span<const Particle> sources, const Box& box,
-                                           const K& kernel, double cutoff = 0.0) {
-  thread_local SoaTile tgt;
-  thread_local SoaTile src;
-  tgt.pack(targets, box);
-  src.pack(sources, box);
-  const InteractionCount count = BatchedEngine::sweep(tgt, src, box, kernel, cutoff);
-  tgt.scatter_add_forces(targets);
+InteractionCount accumulate_forces_scalar(SoaBlock& tgt, const SoaBlock& src, const Box& box,
+                                          const K& kernel, double cutoff = 0.0) {
+  InteractionCount count;
+  const double cutoff2 = cutoff > 0.0 ? cutoff * cutoff : 0.0;
+  const bool periodic = box.boundary == Boundary::Periodic;
+  const bool two_d = box.dims == 2;
+  const std::size_t nt = tgt.size();
+  const std::size_t ns = src.size();
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double xi = static_cast<double>(tgt.px[i]);
+    const double yi = two_d ? static_cast<double>(tgt.py[i]) : 0.0;
+    const std::int32_t idi = tgt.id[i];
+    double ax = 0.0;
+    double ay = 0.0;
+    for (std::size_t j = 0; j < ns; ++j) {
+      if (idi == src.id[j]) continue;
+      ++count.examined;
+      double dx = xi - static_cast<double>(src.px[j]);
+      double dy = two_d ? yi - static_cast<double>(src.py[j]) : 0.0;
+      if (periodic) {
+        if (dx > 0.5 * box.lx)
+          dx -= box.lx;
+        else if (dx < -0.5 * box.lx)
+          dx += box.lx;
+        if (two_d) {
+          if (dy > 0.5 * box.ly)
+            dy -= box.ly;
+          else if (dy < -0.5 * box.ly)
+            dy += box.ly;
+        }
+      }
+      const double r2 = dx * dx + dy * dy;
+      if (cutoff2 > 0.0 && r2 > cutoff2) continue;
+      ++count.within_cutoff;
+      const double mag = kernel.magnitude(r2, lane_coupling<K>(tgt, i, src, j));
+      ax += mag * dx;
+      ay += mag * dy;
+    }
+    // Float fold per target, as the AoS loop's `t.fx += float(ax)` (see the
+    // precision invariant in the header comment).
+    tgt.fx[i] = static_cast<double>(static_cast<float>(tgt.fx[i]) + static_cast<float>(ax));
+    tgt.fy[i] = static_cast<double>(static_cast<float>(tgt.fy[i]) + static_cast<float>(ay));
+  }
   return count;
 }
 
-/// Engine-dispatched block-block sweep (the single entry point the policy
-/// layer, the serial reference, and benches call).
+/// Engine-dispatched resident block-block interaction: the entry point the
+/// policy layer calls. No gather, no scatter — both operands are already
+/// lanes, and forces accumulate in place.
+template <ForceKernel K>
+InteractionCount interact_blocks(KernelEngine engine, SoaBlock& resident,
+                                 const SoaBlock& visitor, const Box& box, const K& kernel,
+                                 double cutoff = 0.0) {
+  if (engine == KernelEngine::Batched)
+    return BatchedEngine::sweep(resident, visitor, box, kernel, cutoff);
+  return accumulate_forces_scalar(resident, visitor, box, kernel, cutoff);
+}
+
+/// Batched counterpart of particles::accumulate_forces for AoS spans (the
+/// serial reference and engine-parity tests): packs both spans into tiles,
+/// sweeps, and scatters the target forces back (one float store each). Pass
+/// a SweepScratch to reuse tile capacity across calls; without one the
+/// tiles are per-call locals.
+template <ForceKernel K>
+InteractionCount accumulate_forces_batched(std::span<Particle> targets,
+                                           std::span<const Particle> sources, const Box& box,
+                                           const K& kernel, double cutoff = 0.0,
+                                           SweepScratch* scratch = nullptr) {
+  SweepScratch local;
+  SweepScratch& s = scratch ? *scratch : local;
+  s.targets.pack(targets, box);
+  s.sources.pack(sources, box);
+  const InteractionCount count =
+      BatchedEngine::sweep(s.targets, s.sources, box, kernel, cutoff);
+  s.targets.scatter_add_forces(targets);
+  return count;
+}
+
+/// Engine-dispatched span sweep (serial reference, benches, parity tests).
 template <ForceKernel K>
 InteractionCount accumulate_forces_with(KernelEngine engine, std::span<Particle> targets,
                                         std::span<const Particle> sources, const Box& box,
-                                        const K& kernel, double cutoff = 0.0) {
+                                        const K& kernel, double cutoff = 0.0,
+                                        SweepScratch* scratch = nullptr) {
   if (engine == KernelEngine::Batched)
-    return accumulate_forces_batched(targets, sources, box, kernel, cutoff);
+    return accumulate_forces_batched(targets, sources, box, kernel, cutoff, scratch);
   return accumulate_forces(targets, sources, box, kernel, cutoff);
 }
 

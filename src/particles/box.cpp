@@ -61,12 +61,16 @@ std::pair<double, double> pair_delta(const Particle& a, const Particle& b,
 }
 
 void apply_boundary(Particle& p, const Box& box) noexcept {
+  apply_boundary(p.px, p.py, p.vx, p.vy, box);
+}
+
+void apply_boundary(float& px, float& py, float& vx, float& vy, const Box& box) noexcept {
   if (box.boundary == Boundary::Reflective) {
-    reflect(p.px, p.vx, box.lx);
-    if (box.dims == 2) reflect(p.py, p.vy, box.ly);
+    reflect(px, vx, box.lx);
+    if (box.dims == 2) reflect(py, vy, box.ly);
   } else {
-    wrap(p.px, box.lx);
-    if (box.dims == 2) wrap(p.py, box.ly);
+    wrap(px, box.lx);
+    if (box.dims == 2) wrap(py, box.ly);
   }
 }
 

@@ -36,6 +36,10 @@ std::pair<double, double> pair_delta(const Particle& a, const Particle& b, const
 /// flip position and velocity; periodic wraps coordinates.
 void apply_boundary(Particle& p, const Box& box) noexcept;
 
+/// Lane variant for SoA integration loops: same reflect/wrap arithmetic on
+/// one particle's coordinate lanes (py/vy untouched in 1D).
+void apply_boundary(float& px, float& py, float& vx, float& vy, const Box& box) noexcept;
+
 /// True iff the particle's position lies within the box (used in tests).
 bool inside(const Particle& p, const Box& box) noexcept;
 

@@ -20,12 +20,12 @@ CellList::CellList(const Box& box, double cutoff) : box_(box), cutoff_(cutoff) {
   bins_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
 }
 
-std::pair<int, int> CellList::bin_of(const Particle& p) const noexcept {
-  int cx = static_cast<int>(static_cast<double>(p.px) / box_.lx * nx_);
+std::pair<int, int> CellList::bin_of(double px, double py) const noexcept {
+  int cx = static_cast<int>(px / box_.lx * nx_);
   cx = std::clamp(cx, 0, nx_ - 1);
   int cy = 0;
   if (box_.dims == 2) {
-    cy = static_cast<int>(static_cast<double>(p.py) / box_.ly * ny_);
+    cy = static_cast<int>(py / box_.ly * ny_);
     cy = std::clamp(cy, 0, ny_ - 1);
   }
   return {cx, cy};
@@ -36,6 +36,30 @@ void CellList::build(std::span<const Particle> ps) {
   for (std::size_t i = 0; i < ps.size(); ++i) {
     const auto [cx, cy] = bin_of(ps[i]);
     bin(cx, cy).push_back(static_cast<int>(i));
+  }
+}
+
+void CellList::build(const SoaBlock& ps, ThreadPool* pool) {
+  for (auto& b : bins_) b.clear();
+  const std::size_t n = ps.size();
+  flat_cell_.resize(n);
+  const auto index_range = [&](int b, int e) {
+    for (int i = b; i < e; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const auto [cx, cy] = bin_of(static_cast<double>(ps.px[u]),
+                                   static_cast<double>(ps.py[u]));
+      flat_cell_[u] = cy * nx_ + cx;
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for_chunks(0, static_cast<int>(n), index_range);
+  } else {
+    index_range(0, static_cast<int>(n));
+  }
+  // Placement stays serial in index order: bin contents are identical no
+  // matter how the index computation above was chunked.
+  for (std::size_t i = 0; i < n; ++i) {
+    bins_[static_cast<std::size_t>(flat_cell_[i])].push_back(static_cast<int>(i));
   }
 }
 

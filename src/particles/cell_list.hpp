@@ -2,7 +2,10 @@
 //
 // This is the fast serial reference used to validate the distributed cutoff
 // algorithms on larger n than the brute-force reference can handle, and the
-// spatial-binning substrate reused by the spatial decomposition.
+// spatial-binning substrate reused by the spatial decomposition. Binning has
+// a lane-based path over resident SoaBlocks (optionally ThreadPool-parallel:
+// per-particle cell indices are computed in parallel, then placed serially
+// in index order, so bin contents are identical for any thread count).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,8 @@
 #include "particles/box.hpp"
 #include "particles/kernels.hpp"
 #include "particles/particle.hpp"
+#include "particles/soa_block.hpp"
+#include "support/parallel.hpp"
 
 namespace canb::particles {
 
@@ -23,6 +28,11 @@ class CellList {
 
   /// Rebuilds bin membership from the given particles (indices into `ps`).
   void build(std::span<const Particle> ps);
+
+  /// Lane-based rebuild from a resident SoA block. With a pool, the
+  /// per-particle cell-index computation fans out across host threads;
+  /// placement stays serial in index order (deterministic bin contents).
+  void build(const SoaBlock& ps, ThreadPool* pool = nullptr);
 
   int cells_x() const noexcept { return nx_; }
   int cells_y() const noexcept { return ny_; }
@@ -66,8 +76,12 @@ class CellList {
     }
   }
 
+  /// Index of the bin containing the given position.
+  std::pair<int, int> bin_of(double px, double py) const noexcept;
   /// Index of the bin containing the particle.
-  std::pair<int, int> bin_of(const Particle& p) const noexcept;
+  std::pair<int, int> bin_of(const Particle& p) const noexcept {
+    return bin_of(static_cast<double>(p.px), static_cast<double>(p.py));
+  }
 
  private:
   const std::vector<int>& bin(int cx, int cy) const noexcept {
@@ -101,30 +115,85 @@ class CellList {
   int ny_;
   bool periodic_;
   std::vector<std::vector<int>> bins_;
+  std::vector<int> flat_cell_;  ///< per-particle flat cell index (build scratch)
 };
 
-/// Serial cutoff force evaluation via a cell list. Forces are accumulated
-/// into ps; returns the number of in-cutoff pair interactions applied.
-/// The batched engine gathers each cell's neighborhood into SoA tiles and
-/// runs the tiled sweep per cell; applied counts are identical by
-/// construction (both skip pairs by id, then test the same cutoff).
+/// Cell-list cutoff forces over a resident SoA block: forces accumulate
+/// into the block's double force lanes; returns the number of in-cutoff
+/// pair interactions applied. The batched engine gathers each cell's
+/// neighborhood indices into the caller's scratch tiles and runs the tiled
+/// sweep per cell; applied counts match the scalar path by construction
+/// (both skip pairs by id, then test the same cutoff).
 template <ForceKernel K>
-std::uint64_t cell_list_forces(std::span<Particle> ps, const Box& box, const K& kernel,
-                               double cutoff, KernelEngine engine = KernelEngine::Scalar) {
+std::uint64_t cell_list_forces(SoaBlock& ps, const Box& box, const K& kernel, double cutoff,
+                               KernelEngine engine = KernelEngine::Scalar,
+                               SweepScratch* scratch = nullptr, ThreadPool* pool = nullptr) {
   CellList cl(box, cutoff);
-  cl.build(ps);
+  cl.build(ps, pool);
   std::uint64_t applied = 0;
   if (engine == KernelEngine::Batched) {
-    thread_local SoaTile tgt;
-    thread_local SoaTile src;
+    SweepScratch local;
+    SweepScratch& s = scratch ? *scratch : local;
     cl.for_cell_neighborhoods([&](std::span<const int> cell, std::span<const int> neigh) {
-      tgt.pack_gather(ps, cell, box);
-      src.pack_gather(ps, neigh, box);
-      applied += BatchedEngine::sweep(tgt, src, box, kernel, cutoff).within_cutoff;
-      tgt.scatter_add_forces(ps, cell);
+      s.targets.pack_gather(ps, cell, box);
+      s.sources.pack_gather(ps, neigh, box);
+      applied += BatchedEngine::sweep(s.targets, s.sources, box, kernel, cutoff).within_cutoff;
+      s.targets.scatter_add_forces(ps, cell);
     });
     return applied;
   }
+  const double cutoff2 = cutoff * cutoff;
+  const bool periodic = box.boundary == Boundary::Periodic;
+  const bool two_d = box.dims == 2;
+  cl.for_neighbor_pairs([&](std::size_t i, std::size_t j) {
+    if (ps.id[i] == ps.id[j]) return;
+    double dx = static_cast<double>(ps.px[i]) - static_cast<double>(ps.px[j]);
+    double dy = two_d ? static_cast<double>(ps.py[i]) - static_cast<double>(ps.py[j]) : 0.0;
+    if (periodic) {
+      if (dx > 0.5 * box.lx)
+        dx -= box.lx;
+      else if (dx < -0.5 * box.lx)
+        dx += box.lx;
+      if (two_d) {
+        if (dy > 0.5 * box.ly)
+          dy -= box.ly;
+        else if (dy < -0.5 * box.ly)
+          dy += box.ly;
+      }
+    }
+    const double r2 = dx * dx + dy * dy;
+    if (r2 > cutoff2) return;
+    const double mag = kernel.magnitude(r2, lane_coupling<K>(ps, i, ps, j));
+    // Per-pair float fold, as the AoS loop's `t.fx += float(f.fx)` (see the
+    // precision invariant in batched_engine.hpp).
+    ps.fx[i] = static_cast<double>(static_cast<float>(ps.fx[i]) + static_cast<float>(mag * dx));
+    ps.fy[i] = static_cast<double>(static_cast<float>(ps.fy[i]) + static_cast<float>(mag * dy));
+    ++applied;
+  });
+  return applied;
+}
+
+/// AoS-span variant (the serial reference). The batched path converts the
+/// span to a SoaBlock once per call and runs the lane pipeline, then folds
+/// the accumulated forces back — the per-neighborhood AoS gather this used
+/// to do is gone with the resident layout.
+template <ForceKernel K>
+std::uint64_t cell_list_forces(std::span<Particle> ps, const Box& box, const K& kernel,
+                               double cutoff, KernelEngine engine = KernelEngine::Scalar,
+                               SweepScratch* scratch = nullptr) {
+  if (engine == KernelEngine::Batched) {
+    SoaBlock soa(std::span<const Particle>(ps.data(), ps.size()));
+    soa.clear_forces();
+    const std::uint64_t applied = cell_list_forces(soa, box, kernel, cutoff, engine, scratch);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      ps[i].fx += static_cast<float>(soa.fx[i]);
+      ps[i].fy += static_cast<float>(soa.fy[i]);
+    }
+    return applied;
+  }
+  CellList cl(box, cutoff);
+  cl.build(ps);
+  std::uint64_t applied = 0;
   const double cutoff2 = cutoff * cutoff;
   cl.for_neighbor_pairs([&](std::size_t i, std::size_t j) {
     auto& t = ps[i];

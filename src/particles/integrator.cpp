@@ -52,6 +52,57 @@ void Leapfrog::post_force(std::span<Particle> ps, double dt, const Box& box) con
   }
 }
 
+namespace {
+
+// Shared kick-drift lane loop for SymplecticEuler and Leapfrog (their AoS
+// loops are identical too).
+void kick_drift_lanes(SoaBlock& ps, double dt, const Box& box) {
+  const std::size_t n = ps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_m = 1.0 / static_cast<double>(ps.mass[i]);
+    ps.vx[i] += static_cast<float>(ps.fx[i] * inv_m * dt);
+    ps.vy[i] += static_cast<float>(ps.fy[i] * inv_m * dt);
+    ps.px[i] += static_cast<float>(static_cast<double>(ps.vx[i]) * dt);
+    ps.py[i] += static_cast<float>(static_cast<double>(ps.vy[i]) * dt);
+    apply_boundary(ps.px[i], ps.py[i], ps.vx[i], ps.vy[i], box);
+  }
+}
+
+}  // namespace
+
+void SymplecticEuler::post_force(SoaBlock& ps, double dt, const Box& box) const {
+  kick_drift_lanes(ps, dt, box);
+}
+
+void VelocityVerlet::pre_force(SoaBlock& ps, double dt) const {
+  const std::size_t n = ps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_m = 1.0 / static_cast<double>(ps.mass[i]);
+    ps.px[i] += static_cast<float>(static_cast<double>(ps.vx[i]) * dt +
+                                   0.5 * ps.fx[i] * inv_m * dt * dt);
+    ps.py[i] += static_cast<float>(static_cast<double>(ps.vy[i]) * dt +
+                                   0.5 * ps.fy[i] * inv_m * dt * dt);
+    // Stash the old force for the velocity half-kick in post_force. The
+    // lanes are float-exact here, so this matches the AoS float stash.
+    ps.aux0[i] = ps.fx[i];
+    ps.aux1[i] = ps.fy[i];
+  }
+}
+
+void VelocityVerlet::post_force(SoaBlock& ps, double dt, const Box& box) const {
+  const std::size_t n = ps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_m = 1.0 / static_cast<double>(ps.mass[i]);
+    ps.vx[i] += static_cast<float>(0.5 * (ps.aux0[i] + ps.fx[i]) * inv_m * dt);
+    ps.vy[i] += static_cast<float>(0.5 * (ps.aux1[i] + ps.fy[i]) * inv_m * dt);
+    apply_boundary(ps.px[i], ps.py[i], ps.vx[i], ps.vy[i], box);
+  }
+}
+
+void Leapfrog::post_force(SoaBlock& ps, double dt, const Box& box) const {
+  kick_drift_lanes(ps, dt, box);
+}
+
 std::unique_ptr<Integrator> make_integrator(const std::string& name) {
   if (name == "symplectic-euler") return std::make_unique<SymplecticEuler>();
   if (name == "velocity-verlet") return std::make_unique<VelocityVerlet>();

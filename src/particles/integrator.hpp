@@ -12,6 +12,7 @@
 
 #include "particles/box.hpp"
 #include "particles/particle.hpp"
+#include "particles/soa_block.hpp"
 
 namespace canb::particles {
 
@@ -25,6 +26,13 @@ class Integrator {
   /// Called after forces for this step are complete. Must apply boundaries.
   virtual void post_force(std::span<Particle> ps, double dt, const Box& box) const = 0;
 
+  /// Lane variants over the resident SoA block: per-lane arithmetic matches
+  /// the AoS loops operation for operation (force lanes hold
+  /// float-representable values at these call points — see the precision
+  /// invariant in batched_engine.hpp — so reading them is reading p.fx).
+  virtual void pre_force(SoaBlock& ps, double dt) const = 0;
+  virtual void post_force(SoaBlock& ps, double dt, const Box& box) const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -33,6 +41,8 @@ class SymplecticEuler final : public Integrator {
  public:
   void pre_force(std::span<Particle>, double) const override {}
   void post_force(std::span<Particle> ps, double dt, const Box& box) const override;
+  void pre_force(SoaBlock&, double) const override {}
+  void post_force(SoaBlock& ps, double dt, const Box& box) const override;
   std::string name() const override { return "symplectic-euler"; }
 };
 
@@ -42,6 +52,8 @@ class VelocityVerlet final : public Integrator {
  public:
   void pre_force(std::span<Particle> ps, double dt) const override;
   void post_force(std::span<Particle> ps, double dt, const Box& box) const override;
+  void pre_force(SoaBlock& ps, double dt) const override;
+  void post_force(SoaBlock& ps, double dt, const Box& box) const override;
   std::string name() const override { return "velocity-verlet"; }
 };
 
@@ -52,6 +64,8 @@ class Leapfrog final : public Integrator {
  public:
   void pre_force(std::span<Particle>, double) const override {}
   void post_force(std::span<Particle> ps, double dt, const Box& box) const override;
+  void pre_force(SoaBlock&, double) const override {}
+  void post_force(SoaBlock& ps, double dt, const Box& box) const override;
   std::string name() const override { return "leapfrog"; }
 };
 

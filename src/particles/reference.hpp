@@ -38,11 +38,11 @@ class SerialReference {
     clear_forces(ps_);
     if (cfg_.cutoff > 0.0 && cfg_.use_cell_list) {
       cell_list_forces(std::span<Particle>(ps_), cfg_.box, cfg_.kernel, cfg_.cutoff,
-                       cfg_.engine);
+                       cfg_.engine, &scratch_);
     } else {
       accumulate_forces_with(cfg_.engine, std::span<Particle>(ps_),
                              std::span<const Particle>(ps_), cfg_.box, cfg_.kernel,
-                             cfg_.cutoff);
+                             cfg_.cutoff, &scratch_);
     }
   }
 
@@ -64,6 +64,9 @@ class SerialReference {
   Block ps_;
   Config cfg_;
   std::unique_ptr<Integrator> integrator_;
+  /// Owned sweep scratch: tile capacity lives and dies with this simulator
+  /// instead of accreting in a thread_local for the process lifetime.
+  SweepScratch scratch_;
 };
 
 /// Convenience: forces only (no integration) for a snapshot comparison.

@@ -1,0 +1,124 @@
+// The resident structure-of-arrays particle block.
+//
+// PR 1 introduced SoaTile as per-sweep scratch: every block-block sweep paid
+// an AoS->SoA gather and a scatter-add back into particles::Block. This type
+// makes the SoA layout the *resident* representation instead: RealPolicy's
+// Buffer is a SoaBlock, so the buffers the vmpi primitives shift, skew,
+// broadcast, and reduce are already in the layout the batched engine's inner
+// loop consumes — zero per-sweep repacking on the resident side.
+//
+// Lane types mirror the 52-byte wire record where the physics depends on
+// them (positions, velocities, couplings stay float, so trajectories match
+// the AoS pipeline's rounding). Force and aux lanes are double for the
+// sweeps' in-call accumulation, but every store into them folds through
+// float at the same points the AoS pipeline stored to a float field — so
+// at phase boundaries they always hold float-representable values,
+// materializing a Particle is lossless, and trajectories are bitwise
+// identical to the wire-format pipeline (see batched_engine.hpp). The
+// serialized size of a block is DEFINED as size() * kParticleBytes: the
+// ledger charges bytes from particle counts, never from host layout (see
+// docs/MODEL.md).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "particles/particle.hpp"
+
+namespace canb::particles {
+
+struct SoaBlock {
+  std::vector<float> px, py;         ///< positions
+  std::vector<float> vx, vy;         ///< velocities
+  std::vector<double> fx, fy;        ///< force accumulators (double: sweep precision)
+  std::vector<float> mass, charge;   ///< kernel coupling lanes
+  std::vector<std::int32_t> id;      ///< globally unique; self-pair mask lane
+  std::vector<double> aux0, aux1;    ///< integrator scratch (e.g. previous force)
+
+  SoaBlock() = default;
+  /// Implicit by design: engine constructors accept the AoS blocks that
+  /// decomp::split_* produce and convert once at setup time.
+  SoaBlock(std::span<const Particle> ps);
+  SoaBlock(const Block& b) : SoaBlock(std::span<const Particle>(b)) {}
+
+  std::size_t size() const noexcept { return id.size(); }
+  bool empty() const noexcept { return id.empty(); }
+
+  void clear();
+  void reserve(std::size_t n);
+  void swap(SoaBlock& other) noexcept;
+
+  void push_back(const Particle& p);
+  /// Appends every lane of `other` (bulk receive in re-assignment/gather).
+  void append(const SoaBlock& other);
+  /// Appends element i of `other` lane-exactly (no float round-trip through
+  /// a materialized Particle — forces keep their double precision).
+  void append_from(const SoaBlock& other, std::size_t i);
+
+  /// Materializes element i as a wire-format Particle. Force and aux lanes
+  /// round to float; the aux2/aux3 padding reads as zero.
+  Particle get(std::size_t i) const noexcept;
+  void set(std::size_t i, const Particle& p) noexcept;
+
+  Block to_block() const;
+
+  void clear_forces() noexcept;
+
+  // Lane accessors shared with SoaTile so BatchedEngine::sweep is generic
+  // over "resident block" and "gathered tile" sources (float lanes are
+  // promoted to double per load inside the sweep — an exact conversion).
+  const float* xs() const noexcept { return px.data(); }
+  const float* ys() const noexcept { return py.data(); }
+  const float* charges() const noexcept { return charge.data(); }
+  const float* masses() const noexcept { return mass.data(); }
+  const std::int32_t* ids() const noexcept { return id.data(); }
+  double* fxs() noexcept { return fx.data(); }
+  double* fys() noexcept { return fy.data(); }
+
+  /// Materializing const iterator: read-only range-for over a SoaBlock
+  /// yields Particle values, so diagnostic loops written against the AoS
+  /// Block keep working unchanged.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Particle;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Particle;
+
+    const_iterator() = default;
+    const_iterator(const SoaBlock* blk, std::size_t i) : blk_(blk), i_(i) {}
+
+    Particle operator*() const noexcept { return blk_->get(i_); }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const noexcept { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const noexcept { return i_ != o.i_; }
+
+   private:
+    const SoaBlock* blk_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const noexcept { return {this, 0}; }
+  const_iterator end() const noexcept { return {this, size()}; }
+};
+
+/// Serialized size: what travels between virtual ranks is always the 52-byte
+/// wire record, independent of the host-resident layout.
+inline std::size_t block_bytes(const SoaBlock& b) noexcept {
+  return b.size() * kParticleBytes;
+}
+
+inline void clear_forces(SoaBlock& b) noexcept { b.clear_forces(); }
+
+}  // namespace canb::particles

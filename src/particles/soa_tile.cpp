@@ -31,17 +31,16 @@ void SoaTile::pack(std::span<const Particle> ps, const Box& box) {
   }
 }
 
-void SoaTile::pack_gather(std::span<const Particle> ps, std::span<const int> idx,
-                          const Box& box) {
+void SoaTile::pack_gather(const SoaBlock& ps, std::span<const int> idx, const Box& box) {
   resize_lanes(*this, idx.size());
   const bool two_d = box.dims == 2;
   for (std::size_t i = 0; i < idx.size(); ++i) {
-    const Particle& p = ps[static_cast<std::size_t>(idx[i])];
-    x[i] = static_cast<double>(p.px);
-    y[i] = two_d ? static_cast<double>(p.py) : 0.0;
-    charge[i] = static_cast<double>(p.charge);
-    mass[i] = static_cast<double>(p.mass);
-    id[i] = p.id;
+    const auto j = static_cast<std::size_t>(idx[i]);
+    x[i] = static_cast<double>(ps.px[j]);
+    y[i] = two_d ? static_cast<double>(ps.py[j]) : 0.0;
+    charge[i] = static_cast<double>(ps.charge[j]);
+    mass[i] = static_cast<double>(ps.mass[j]);
+    id[i] = ps.id[j];
   }
 }
 
@@ -53,13 +52,25 @@ void SoaTile::scatter_add_forces(std::span<Particle> ps) const {
   }
 }
 
-void SoaTile::scatter_add_forces(std::span<Particle> ps, std::span<const int> idx) const {
+void SoaTile::scatter_add_forces(SoaBlock& ps, std::span<const int> idx) const {
   CANB_ASSERT(idx.size() == size());
   for (std::size_t i = 0; i < idx.size(); ++i) {
-    auto& p = ps[static_cast<std::size_t>(idx[i])];
-    p.fx += static_cast<float>(fx[i]);
-    p.fy += static_cast<float>(fy[i]);
+    const auto j = static_cast<std::size_t>(idx[i]);
+    // Float fold, matching the AoS scatter's `p.fx += float(fx[i])` (see the
+    // precision invariant in batched_engine.hpp).
+    ps.fx[j] = static_cast<double>(static_cast<float>(ps.fx[j]) + static_cast<float>(fx[i]));
+    ps.fy[j] = static_cast<double>(static_cast<float>(ps.fy[j]) + static_cast<float>(fy[i]));
   }
+}
+
+void SoaTile::shrink_to_fit() {
+  x.shrink_to_fit();
+  y.shrink_to_fit();
+  charge.shrink_to_fit();
+  mass.shrink_to_fit();
+  id.shrink_to_fit();
+  fx.shrink_to_fit();
+  fy.shrink_to_fit();
 }
 
 }  // namespace canb::particles

@@ -1,12 +1,13 @@
-// Structure-of-arrays particle tile for the batched kernel engine.
+// Structure-of-arrays gather tile for the batched kernel engine.
 //
-// The 52-byte AoS Particle record is the unit that travels between virtual
-// ranks (the paper fixes its size), but it is a poor shape for the host-side
-// O(n^2/p) force sweep: every pair touches four fields at a 52-byte stride
-// and the compiler cannot vectorize across records. A SoaTile repacks a
-// Block into contiguous double lanes (positions promoted once, instead of
-// per pair) plus an id lane for the self-pair mask, with double-precision
-// force accumulators that are scattered back as one float store per target.
+// With SoaBlock as the resident representation, whole-block sweeps run on
+// the resident lanes directly and never touch this type. SoaTile remains
+// the *gather* unit: cell-list neighborhoods are index lists into a resident
+// block, and the tile packs those gathered lanes (positions promoted to
+// double once, instead of per pair) plus an id lane for the self-pair mask,
+// with double-precision force accumulators scattered back per index. The
+// AoS span pack also remains for the serial-reference paths that sweep
+// wire-format Blocks.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 
 #include "particles/box.hpp"
 #include "particles/particle.hpp"
+#include "particles/soa_block.hpp"
 
 namespace canb::particles {
 
@@ -26,19 +28,35 @@ struct SoaTile {
 
   std::size_t size() const noexcept { return id.size(); }
 
+  // Lane accessors shared with SoaBlock (see batched_engine.hpp).
+  const double* xs() const noexcept { return x.data(); }
+  const double* ys() const noexcept { return y.data(); }
+  const double* charges() const noexcept { return charge.data(); }
+  const double* masses() const noexcept { return mass.data(); }
+  const std::int32_t* ids() const noexcept { return id.data(); }
+  double* fxs() noexcept { return fx.data(); }
+  double* fys() noexcept { return fy.data(); }
+
   /// Repacks the whole span; zeroes the force accumulators. In 1D boxes the
   /// y lane is zeroed so dy vanishes without a per-pair dimensionality test.
   void pack(std::span<const Particle> ps, const Box& box);
 
-  /// Gathered pack: lane i holds ps[idx[i]] (the cell-list neighborhood path).
-  void pack_gather(std::span<const Particle> ps, std::span<const int> idx, const Box& box);
+  /// Gathered pack from resident lanes: lane i holds ps[idx[i]] (the
+  /// cell-list neighborhood path — the only repacking left in the resident
+  /// pipeline, and it moves index lists, not particles).
+  void pack_gather(const SoaBlock& ps, std::span<const int> idx, const Box& box);
 
   /// Adds the accumulated forces back into the records, one float store per
   /// target: ps[i].fx += float(fx[i]). Sizes must match the packed span.
   void scatter_add_forces(std::span<Particle> ps) const;
 
-  /// Gathered scatter: ps[idx[i]] receives lane i's accumulated force.
-  void scatter_add_forces(std::span<Particle> ps, std::span<const int> idx) const;
+  /// Gathered scatter into resident lanes, folding each add through float —
+  /// the same rounding point as the AoS scatter (see the precision
+  /// invariant in batched_engine.hpp).
+  void scatter_add_forces(SoaBlock& ps, std::span<const int> idx) const;
+
+  /// Releases lane capacity (a long-lived owner can shrink after a burst).
+  void shrink_to_fit();
 };
 
 }  // namespace canb::particles

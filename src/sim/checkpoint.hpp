@@ -3,6 +3,11 @@
 // Format: a fixed little-endian header (magic "CANB", version, step, time,
 // particle count) followed by the raw 52-byte particle records. The record
 // layout is static_asserted, so a checkpoint round-trips bitwise.
+//
+// The wire format is deliberately AoS even though ranks hold particles in
+// SoA lanes (particles::SoaBlock): serialization is a boundary, so the
+// one gather/convert happens here (Simulation::gather -> Block), keeping
+// the checkpoint format stable across host-layout changes.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,10 @@
 //    velocities, forces), for pandas/spreadsheet analysis.
 //
 // A minimal XYZ reader supports round-trip tests and restart-style use.
+//
+// Writers take AoS particles::Block: like the checkpoint format, snapshot
+// output is a serialization boundary, and the SoA-resident pipeline
+// converts exactly once (Simulation::gather) before writing.
 #pragma once
 
 #include <iosfwd>

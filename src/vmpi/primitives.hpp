@@ -1,8 +1,10 @@
 // Data-moving communication primitives over per-rank buffers.
 //
 // Buffers live in a std::vector<B> indexed by rank; the same templates run
-// with real particle blocks (std::vector<Particle>) and phantom blocks
-// (counts only), guaranteeing the cost accounting is payload-independent.
+// with real particle blocks (kernel-ready particles::SoaBlock lanes) and
+// phantom blocks (counts only), guaranteeing the cost accounting is
+// payload-independent: bytes always derive from particle counts, never from
+// the host-resident layout being moved.
 // Each primitive both moves the data and charges the VirtualComm.
 #pragma once
 

@@ -25,7 +25,10 @@ Policy make_policy(const Box& box, double dt = 1e-4) {
   return Policy({box, InverseSquareRepulsion{1e-4, 1e-2}, 0.0, dt});
 }
 
-Block gather_blocks(std::vector<Block> blocks) {
+// Generic over the block layout: partition helpers hand back AoS
+// particles::Block, engines hand back SoA Buffers (particles::SoaBlock).
+template <class Blocks>
+Block gather_blocks(const Blocks& blocks) {
   auto all = decomp::concat(blocks);
   particles::sort_by_id(all);
   return all;

@@ -1,0 +1,111 @@
+// The resident-layout acceptance contract: host execution knobs — the
+// kernel engine (scalar vs batched SoA sweep) and the host thread count —
+// must change NOTHING observable in the simulation. Trajectories and
+// forces are bitwise identical (the force-lane precision invariant in
+// particles/batched_engine.hpp makes this exact, not approximate), and
+// the virtual-time ledger agrees field by field, because every charge
+// derives from particle counts and examined-pair counts, never from how
+// the host stores or sweeps the lanes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/presets.hpp"
+#include "particles/init.hpp"
+#include "sim/simulation.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace canb;
+using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
+
+constexpr int kSteps = 3;
+const int kThreadCounts[] = {1, 2, 8};
+const particles::KernelEngine kEngines[] = {particles::KernelEngine::Scalar,
+                                            particles::KernelEngine::Batched};
+
+Sim make_sim(sim::Method method, double cutoff, particles::KernelEngine engine, int threads) {
+  Sim::Config cfg;
+  cfg.method = method;
+  cfg.p = method == sim::Method::CaCutoff ? 32 : 16;
+  cfg.c = 2;
+  cfg.machine = machine::hopper();
+  cfg.kernel = {1e-4, 1e-2};
+  cfg.cutoff = cutoff;
+  cfg.dt = 1e-4;
+  cfg.engine = engine;
+  Sim s(cfg, particles::init_uniform(256, cfg.box, 2013, 0.01));
+  if (threads > 1) s.set_host_pool(std::make_shared<ThreadPool>(threads));
+  return s;
+}
+
+/// Bitwise float equality: distinguishes +0.0 from -0.0 and would catch a
+/// NaN produced on one path only — stricter than operator==.
+::testing::AssertionResult bits_equal(float a, float b) {
+  if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ (bits 0x" << std::hex
+         << std::bit_cast<std::uint32_t>(a) << " vs 0x" << std::bit_cast<std::uint32_t>(b)
+         << ")";
+}
+
+void expect_state_bitwise_equal(const particles::Block& got, const particles::Block& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].id, want[i].id);
+    EXPECT_TRUE(bits_equal(got[i].fx, want[i].fx)) << "fx of particle " << got[i].id;
+    EXPECT_TRUE(bits_equal(got[i].fy, want[i].fy)) << "fy of particle " << got[i].id;
+    EXPECT_TRUE(bits_equal(got[i].px, want[i].px)) << "px of particle " << got[i].id;
+    EXPECT_TRUE(bits_equal(got[i].py, want[i].py)) << "py of particle " << got[i].id;
+    EXPECT_TRUE(bits_equal(got[i].vx, want[i].vx)) << "vx of particle " << got[i].id;
+    EXPECT_TRUE(bits_equal(got[i].vy, want[i].vy)) << "vy of particle " << got[i].id;
+  }
+}
+
+void expect_report_field_equal(const sim::RunReport& got, const sim::RunReport& want) {
+  EXPECT_EQ(got.messages, want.messages);
+  EXPECT_EQ(got.bytes, want.bytes);
+  EXPECT_EQ(got.compute, want.compute);
+  EXPECT_EQ(got.broadcast, want.broadcast);
+  EXPECT_EQ(got.skew, want.skew);
+  EXPECT_EQ(got.shift, want.shift);
+  EXPECT_EQ(got.reduce, want.reduce);
+  EXPECT_EQ(got.reassign, want.reassign);
+  EXPECT_EQ(got.wall, want.wall);
+  EXPECT_EQ(got.imbalance, want.imbalance);
+}
+
+void run_matrix(sim::Method method, double cutoff) {
+  // Baseline: single-threaded scalar — the exactness reference.
+  auto baseline = make_sim(method, cutoff, particles::KernelEngine::Scalar, 1);
+  baseline.run(kSteps);
+  const auto want_state = baseline.gather();
+  const auto want_report = baseline.report();
+
+  for (const auto engine : kEngines) {
+    for (const int threads : kThreadCounts) {
+      if (engine == particles::KernelEngine::Scalar && threads == 1) continue;
+      SCOPED_TRACE(::testing::Message()
+                   << particles::engine_name(engine) << " engine, " << threads << " threads");
+      auto s = make_sim(method, cutoff, engine, threads);
+      s.run(kSteps);
+      expect_state_bitwise_equal(s.gather(), want_state);
+      expect_report_field_equal(s.report(), want_report);
+    }
+  }
+}
+
+TEST(LayoutInvariance, CaAllPairsBitwiseAcrossEnginesAndThreads) {
+  run_matrix(sim::Method::CaAllPairs, 0.0);
+}
+
+TEST(LayoutInvariance, CaCutoffBitwiseAcrossEnginesAndThreads) {
+  run_matrix(sim::Method::CaCutoff, 0.12);
+}
+
+}  // namespace

@@ -32,7 +32,8 @@ Engine make_1d(const Block& all, int q, particles::Boundary bc = particles::Boun
                 std::move(policy), decomp::split_spatial_1d(all, box, q));
 }
 
-Block gather(std::vector<Block> blocks) {
+template <class Blocks>
+Block gather(const Blocks& blocks) {
   auto all = decomp::concat(blocks);
   particles::sort_by_id(all);
   return all;

@@ -31,23 +31,25 @@ void run_panel(const std::string& id, const machine::MachineModel& m, std::uint6
   Table table(cols);
 
   for (int p : sizes) {
-    std::vector<Cell> row{static_cast<long long>(p)};
+    std::vector<Cell> row;
+    row.reserve(cols.size());
+    row.emplace_back(static_cast<long long>(p));
     double best_eff = 0.0;
     int best_c = 0;
     for (int c : cs) {
       if (!vmpi::valid_all_pairs_replication(p, c)) {
-        row.push_back(std::string("-"));
+        row.emplace_back(std::string("-"));
         continue;
       }
       const auto rep = run_ca_all_pairs(m, p, c, n);
       const double eff = t_serial / (static_cast<double>(p) * rep.total());
-      row.push_back(eff);
+      row.emplace_back(eff);
       if (eff > best_eff) {
         best_eff = eff;
         best_c = c;
       }
     }
-    row.push_back(std::string("c=" + std::to_string(best_c)));
+    row.emplace_back("c=" + std::to_string(best_c));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

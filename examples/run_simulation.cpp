@@ -15,6 +15,15 @@
 //   --threads     host threads for the force loops (ca methods);
 //                 0 = auto-detect (std::thread::hardware_concurrency)
 //   --engine      scalar | batched host force sweep (virtual time unchanged)
+//
+// Fault injection (deterministic; see vmpi/fault.hpp and docs/TESTING.md).
+// Passing any of these attaches a PerturbationModel to the virtual machine;
+// all-zero rates leave the run bitwise identical to no model at all:
+//   --fault-seed    seed for the per-rank fault streams (default 2013)
+//   --straggler     per-compute-charge straggler probability
+//   --jitter        lognormal sigma on every compute charge
+//   --drop-rate     per-attempt message drop probability (retries charged)
+//   --link-degrade  fraction of directed links degraded (4x slower)
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
@@ -73,7 +82,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
-                      "threads", "integrator", "engine"});
+                      "threads", "integrator", "engine", "fault-seed", "straggler", "jitter",
+                      "drop-rate", "link-degrade"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -88,6 +98,17 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 512));
   const int steps = static_cast<int>(args.get_int("steps", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));
+
+  if (args.has("fault-seed") || args.has("straggler") || args.has("jitter") ||
+      args.has("drop-rate") || args.has("link-degrade")) {
+    vmpi::FaultConfig fault;
+    fault.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 2013));
+    fault.straggler_rate = args.get_double("straggler", 0.0);
+    fault.jitter = args.get_double("jitter", 0.0);
+    fault.drop_rate = args.get_double("drop-rate", 0.0);
+    fault.link_degrade_rate = args.get_double("link-degrade", 0.0);
+    cfg.fault = fault;
+  }
 
   particles::Block initial;
   std::int64_t step0 = 0;
@@ -135,6 +156,16 @@ int main(int argc, char** argv) {
   const auto final_state = simulation.gather();
   std::cout << "ran " << steps << " steps of " << sim::method_name(cfg.method) << " on "
             << cfg.p << " ranks (" << cfg.machine.name << ", c=" << cfg.c << ")\n";
+  if (const auto* fault = simulation.fault_model()) {
+    const auto& ledger = simulation.comm().ledger();
+    std::cout << "fault injection: seed=" << fault->config().seed
+              << " straggler=" << fault->config().straggler_rate
+              << " jitter=" << fault->config().jitter
+              << " drop=" << fault->config().drop_rate
+              << " link-degrade=" << fault->config().link_degrade_rate << " — "
+              << ledger.aggregate_retries() << " retries, " << ledger.aggregate_timeouts()
+              << " timeouts across all ranks\n";
+  }
 
   if (args.has("checkpoint")) {
     sim::save_checkpoint(args.get("checkpoint", ""),

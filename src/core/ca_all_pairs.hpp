@@ -184,6 +184,9 @@ class CaAllPairs {
       // Hop-aware latency varies per rank pair (rank order maps onto a
       // torus), so the uniform-charge shortcut would be wrong.
       if (cfg_.machine.alpha_hop > 0.0) return false;
+      // Fault injection perturbs ranks individually; fall back to the
+      // per-step schedule so every draw lands on the right rank stream.
+      if (vc_.fault_active()) return false;
       const std::uint64_t c0 = Policy::count(resident_[static_cast<std::size_t>(grid_.leader(0))]);
       for (int t = 1; t < grid_.cols(); ++t) {
         if (Policy::count(resident_[static_cast<std::size_t>(grid_.leader(t))]) != c0) return false;

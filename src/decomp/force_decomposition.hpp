@@ -122,6 +122,7 @@ class ForceDecomposition {
   }
 
   const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  vmpi::VirtualComm& comm() noexcept { return vc_; }
   int side() const noexcept { return s_; }
   std::vector<Buffer> team_results() const { return diag_; }
 

@@ -80,6 +80,7 @@ class ParticleDecompositionRing {
   }
 
   const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  vmpi::VirtualComm& comm() noexcept { return vc_; }
   std::vector<Buffer> team_results() const { return resident_; }
 
  private:
@@ -190,6 +191,7 @@ class ParticleDecompositionAllGather {
   }
 
   const vmpi::VirtualComm& comm() const noexcept { return vc_; }
+  vmpi::VirtualComm& comm() noexcept { return vc_; }
   std::vector<Buffer> team_results() const { return resident_; }
 
  private:

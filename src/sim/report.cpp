@@ -32,6 +32,8 @@ RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, i
   rep.wall = vc.max_clock() * inv;
   rep.messages = static_cast<double>(ledger.critical_messages()) * inv;
   rep.bytes = static_cast<double>(ledger.critical_bytes()) * inv;
+  rep.retries = static_cast<double>(ledger.critical_retries()) * inv;
+  rep.timeouts = static_cast<double>(ledger.critical_timeouts()) * inv;
   const auto per_rank = ledger.per_rank_seconds();
   rep.imbalance = imbalance_factor(per_rank);
   return rep;
@@ -39,23 +41,38 @@ RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, i
 
 namespace {
 Table make_table(std::span<const RunReport> reports) {
-  Table t({{"label", 16},
-           {"p", 7},
-           {"c", 5},
-           {"total(s)", 11, 5},
-           {"compute", 11, 5},
-           {"bcast", 10, 5},
-           {"skew", 10, 5},
-           {"shift", 11, 5},
-           {"reduce", 11, 5},
-           {"reassign", 10, 5},
-           {"msgs/step", 10, 1},
-           {"KiB/step", 10, 1},
-           {"imbal", 7, 2}});
+  // Fault counters appear only when some report is degraded: fault-free
+  // tables (every figure bench) keep their exact historical layout.
+  const bool degraded =
+      std::any_of(reports.begin(), reports.end(), [](const auto& r) { return r.degraded(); });
+  std::vector<ColumnSpec> cols{{"label", 16},
+                                  {"p", 7},
+                                  {"c", 5},
+                                  {"total(s)", 11, 5},
+                                  {"compute", 11, 5},
+                                  {"bcast", 10, 5},
+                                  {"skew", 10, 5},
+                                  {"shift", 11, 5},
+                                  {"reduce", 11, 5},
+                                  {"reassign", 10, 5},
+                                  {"msgs/step", 10, 1},
+                                  {"KiB/step", 10, 1},
+                                  {"imbal", 7, 2}};
+  if (degraded) {
+    cols.push_back({"retry/step", 11, 1});
+    cols.push_back({"tmout/step", 11, 1});
+  }
+  Table t(std::move(cols));
   for (const auto& r : reports) {
-    t.add_row({r.label, static_cast<long long>(r.p), static_cast<long long>(r.c), r.total(),
-               r.compute, r.broadcast, r.skew, r.shift, r.reduce, r.reassign, r.messages,
-               r.bytes / 1024.0, r.imbalance});
+    std::vector<Cell> row{r.label, static_cast<long long>(r.p),
+                                 static_cast<long long>(r.c), r.total(), r.compute,
+                                 r.broadcast, r.skew, r.shift, r.reduce, r.reassign,
+                                 r.messages, r.bytes / 1024.0, r.imbalance};
+    if (degraded) {
+      row.push_back(r.retries);
+      row.push_back(r.timeouts);
+    }
+    t.add_row(std::move(row));
   }
   return t;
 }

@@ -42,6 +42,14 @@ struct RunReport {
   // max/mean of per-rank total time (load imbalance factor).
   double imbalance = 1.0;
 
+  // Per-step critical-path fault counters (max over ranks; zero on a
+  // fault-free run). Reported only when nonzero, so fault-off tables are
+  // unchanged.
+  double retries = 0.0;
+  double timeouts = 0.0;
+
+  bool degraded() const noexcept { return retries > 0.0 || timeouts > 0.0; }
+
   double total() const noexcept {
     return compute + broadcast + skew + shift + reduce + reassign + other;
   }

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -55,11 +56,19 @@ class Simulation {
     /// Host-side force sweep implementation (see particles/batched_engine.hpp).
     /// Affects host wall time only: the virtual-time ledger is engine-invariant.
     particles::KernelEngine engine = particles::KernelEngine::Scalar;
+    /// Fault/straggler injection (vmpi/fault.hpp). Disengaged by default;
+    /// a config with all rates zero is attached but inert (bitwise-identical
+    /// clocks, ledgers, and trajectories — tested).
+    std::optional<vmpi::FaultConfig> fault;
   };
 
   Simulation(Config cfg, particles::Block initial)
       : cfg_(std::move(cfg)), engine_(make_engine(cfg_, std::move(initial))) {
     set_integrator(cfg_.integrator);
+    if (cfg_.fault) {
+      fault_model_ = std::make_unique<vmpi::PerturbationModel>(*cfg_.fault, cfg_.p);
+      comm().set_fault(fault_model_.get());
+    }
   }
 
   void set_integrator(const std::string& name) {
@@ -99,6 +108,13 @@ class Simulation {
     return std::visit([](const auto& e) -> const vmpi::VirtualComm& { return e.comm(); },
                       engine_);
   }
+
+  vmpi::VirtualComm& comm() {
+    return std::visit([](auto& e) -> vmpi::VirtualComm& { return e.comm(); }, engine_);
+  }
+
+  /// The attached fault model, or nullptr when fault injection is off.
+  const vmpi::PerturbationModel* fault_model() const noexcept { return fault_model_.get(); }
 
   /// Per-step report over every step taken so far.
   RunReport report(std::string label = {}) const {
@@ -216,6 +232,9 @@ class Simulation {
 
   Config cfg_;
   EngineVariant engine_;
+  /// Owned here (heap) so the pointer held by the engine's VirtualComm
+  /// stays valid if the Simulation object itself is moved.
+  std::unique_ptr<vmpi::PerturbationModel> fault_model_;
   int steps_ = 0;
 };
 

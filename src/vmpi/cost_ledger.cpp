@@ -32,6 +32,8 @@ CostLedger::CostLedger(int p) : p_(p) {
     seconds_[i].assign(static_cast<std::size_t>(p), 0.0);
     messages_[i].assign(static_cast<std::size_t>(p), 0);
     bytes_[i].assign(static_cast<std::size_t>(p), 0);
+    retries_[i].assign(static_cast<std::size_t>(p), 0);
+    timeouts_[i].assign(static_cast<std::size_t>(p), 0);
   }
 }
 
@@ -57,11 +59,21 @@ void CostLedger::charge_all(Phase phase, double seconds, std::uint64_t messages,
   }
 }
 
+void CostLedger::charge_fault(int rank, Phase phase, std::uint64_t retries,
+                              std::uint64_t timeouts) {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  const auto ph = static_cast<int>(phase);
+  retries_[ph][static_cast<std::size_t>(rank)] += retries;
+  timeouts_[ph][static_cast<std::size_t>(rank)] += timeouts;
+}
+
 void CostLedger::reset() {
   for (int i = 0; i < kPhaseCount; ++i) {
     std::fill(seconds_[i].begin(), seconds_[i].end(), 0.0);
     std::fill(messages_[i].begin(), messages_[i].end(), 0);
     std::fill(bytes_[i].begin(), bytes_[i].end(), 0);
+    std::fill(retries_[i].begin(), retries_[i].end(), 0);
+    std::fill(timeouts_[i].begin(), timeouts_[i].end(), 0);
   }
 }
 
@@ -91,6 +103,20 @@ std::uint64_t CostLedger::bytes(int rank) const {
   return total;
 }
 
+std::uint64_t CostLedger::retries(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  std::uint64_t total = 0;
+  for (int i = 0; i < kPhaseCount; ++i) total += retries_[i][static_cast<std::size_t>(rank)];
+  return total;
+}
+
+std::uint64_t CostLedger::timeouts(int rank) const {
+  CANB_ASSERT(rank >= 0 && rank < p_);
+  std::uint64_t total = 0;
+  for (int i = 0; i < kPhaseCount; ++i) total += timeouts_[i][static_cast<std::size_t>(rank)];
+  return total;
+}
+
 int CostLedger::critical_rank() const {
   int best = 0;
   double best_t = -1.0;
@@ -110,7 +136,9 @@ std::array<PhaseTotals, kPhaseCount> CostLedger::critical_breakdown() const {
   for (int i = 0; i < kPhaseCount; ++i) {
     out[static_cast<std::size_t>(i)] = {seconds_[i][static_cast<std::size_t>(r)],
                                         messages_[i][static_cast<std::size_t>(r)],
-                                        bytes_[i][static_cast<std::size_t>(r)]};
+                                        bytes_[i][static_cast<std::size_t>(r)],
+                                        retries_[i][static_cast<std::size_t>(r)],
+                                        timeouts_[i][static_cast<std::size_t>(r)]};
   }
   return out;
 }
@@ -127,6 +155,18 @@ std::uint64_t CostLedger::critical_bytes() const {
   return best;
 }
 
+std::uint64_t CostLedger::critical_retries() const {
+  std::uint64_t best = 0;
+  for (int r = 0; r < p_; ++r) best = std::max(best, retries(r));
+  return best;
+}
+
+std::uint64_t CostLedger::critical_timeouts() const {
+  std::uint64_t best = 0;
+  for (int r = 0; r < p_; ++r) best = std::max(best, timeouts(r));
+  return best;
+}
+
 PhaseTotals CostLedger::aggregate(Phase phase) const {
   const auto ph = static_cast<int>(phase);
   PhaseTotals out;
@@ -134,6 +174,8 @@ PhaseTotals CostLedger::aggregate(Phase phase) const {
     out.seconds += seconds_[ph][static_cast<std::size_t>(r)];
     out.messages += messages_[ph][static_cast<std::size_t>(r)];
     out.bytes += bytes_[ph][static_cast<std::size_t>(r)];
+    out.retries += retries_[ph][static_cast<std::size_t>(r)];
+    out.timeouts += timeouts_[ph][static_cast<std::size_t>(r)];
   }
   return out;
 }
@@ -147,6 +189,18 @@ std::uint64_t CostLedger::aggregate_messages() const {
 std::uint64_t CostLedger::aggregate_bytes() const {
   std::uint64_t total = 0;
   for (int r = 0; r < p_; ++r) total += bytes(r);
+  return total;
+}
+
+std::uint64_t CostLedger::aggregate_retries() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < p_; ++r) total += retries(r);
+  return total;
+}
+
+std::uint64_t CostLedger::aggregate_timeouts() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < p_; ++r) total += timeouts(r);
   return total;
 }
 

@@ -34,6 +34,8 @@ struct PhaseTotals {
   double seconds = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t retries = 0;   ///< retransmissions after message drops
+  std::uint64_t timeouts = 0;  ///< timeout expirations waited out
 };
 
 class CostLedger {
@@ -49,6 +51,11 @@ class CostLedger {
   void charge_all(Phase phase, double seconds, std::uint64_t messages, std::uint64_t bytes,
                   std::uint64_t repeat = 1);
 
+  /// Records fault-injection events (retransmissions and timeouts) against
+  /// one rank and phase. The *time* they cost is charged separately through
+  /// charge(); these counters only classify it. Zero under a fault-free run.
+  void charge_fault(int rank, Phase phase, std::uint64_t retries, std::uint64_t timeouts);
+
   void reset();
 
   // --- queries ----------------------------------------------------------
@@ -56,6 +63,8 @@ class CostLedger {
   double total_seconds(int rank) const;
   std::uint64_t messages(int rank) const;
   std::uint64_t bytes(int rank) const;
+  std::uint64_t retries(int rank) const;
+  std::uint64_t timeouts(int rank) const;
 
   /// Rank with the largest total virtual time (the critical rank).
   int critical_rank() const;
@@ -67,11 +76,16 @@ class CostLedger {
   std::uint64_t critical_messages() const;
   /// Critical-path W: max over ranks of total bytes.
   std::uint64_t critical_bytes() const;
+  /// Max over ranks of total retries / timeouts (degraded-run reporting).
+  std::uint64_t critical_retries() const;
+  std::uint64_t critical_timeouts() const;
 
   /// Aggregate totals over all ranks (for traffic accounting).
   PhaseTotals aggregate(Phase phase) const;
   std::uint64_t aggregate_messages() const;
   std::uint64_t aggregate_bytes() const;
+  std::uint64_t aggregate_retries() const;
+  std::uint64_t aggregate_timeouts() const;
 
   /// Per-rank total seconds (for imbalance statistics).
   std::vector<double> per_rank_seconds() const;
@@ -82,6 +96,8 @@ class CostLedger {
   std::array<std::vector<double>, kPhaseCount> seconds_;
   std::array<std::vector<std::uint64_t>, kPhaseCount> messages_;
   std::array<std::vector<std::uint64_t>, kPhaseCount> bytes_;
+  std::array<std::vector<std::uint64_t>, kPhaseCount> retries_;
+  std::array<std::vector<std::uint64_t>, kPhaseCount> timeouts_;
 };
 
 }  // namespace canb::vmpi

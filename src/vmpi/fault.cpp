@@ -1,0 +1,89 @@
+#include "vmpi/fault.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace canb::vmpi {
+
+void FaultConfig::validate() const {
+  CANB_REQUIRE(jitter >= 0.0, "fault: jitter sigma must be >= 0");
+  CANB_REQUIRE(straggler_rate >= 0.0 && straggler_rate <= 1.0,
+               "fault: straggler rate must be a probability");
+  CANB_REQUIRE(straggler_factor >= 1.0, "fault: straggler factor must be >= 1 (a slowdown)");
+  CANB_REQUIRE(link_degrade_rate >= 0.0 && link_degrade_rate <= 1.0,
+               "fault: link degrade rate must be a probability");
+  CANB_REQUIRE(link_degrade_factor >= 1.0, "fault: link degrade factor must be >= 1");
+  CANB_REQUIRE(drop_rate >= 0.0 && drop_rate < 1.0,
+               "fault: drop rate must be in [0, 1) (1 would never deliver)");
+  CANB_REQUIRE(timeout_factor >= 0.0, "fault: timeout factor must be >= 0");
+  CANB_REQUIRE(backoff >= 1.0, "fault: backoff base must be >= 1");
+  CANB_REQUIRE(max_attempts >= 1, "fault: need at least one delivery attempt");
+}
+
+namespace {
+
+/// Per-rank stream seed: decorrelates rank streams from each other and from
+/// the particle-init seeds (which use the raw user seed directly).
+std::uint64_t stream_seed(std::uint64_t seed, int rank) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1)));
+  return sm.next();
+}
+
+/// Stateless uniform in [0, 1) from a key (link degradation): two SplitMix64
+/// rounds fully mix the endpoint bits.
+double hash_uniform(std::uint64_t key) {
+  SplitMix64 sm(key);
+  sm.next();
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+PerturbationModel::PerturbationModel(FaultConfig cfg, int p) : cfg_(cfg) {
+  CANB_REQUIRE(p >= 1, "PerturbationModel needs p >= 1");
+  cfg_.validate();
+  streams_.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) streams_.emplace_back(stream_seed(cfg_.seed, r));
+}
+
+void PerturbationModel::reset() {
+  for (int r = 0; r < ranks(); ++r)
+    streams_[static_cast<std::size_t>(r)] = Xoshiro256(stream_seed(cfg_.seed, r));
+}
+
+double PerturbationModel::compute_factor(int rank) noexcept {
+  if (!cfg_.compute_active()) return 1.0;
+  auto& rng = streams_[static_cast<std::size_t>(rank)];
+  double f = 1.0;
+  if (cfg_.jitter > 0.0) f *= std::exp(cfg_.jitter * rng.normal());
+  if (cfg_.straggler_rate > 0.0 && rng.uniform() < cfg_.straggler_rate)
+    f *= cfg_.straggler_factor;
+  return f;
+}
+
+double PerturbationModel::link_factor(int src, int dst) const noexcept {
+  if (!cfg_.link_active() || src == dst) return 1.0;
+  const std::uint64_t key = cfg_.seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                                         static_cast<std::uint32_t>(dst));
+  return hash_uniform(key) < cfg_.link_degrade_rate ? cfg_.link_degrade_factor : 1.0;
+}
+
+PerturbationModel::Delivery PerturbationModel::plan_delivery(int dst,
+                                                             double attempt_cost) noexcept {
+  Delivery d;
+  if (!cfg_.drop_active()) return d;
+  auto& rng = streams_[static_cast<std::size_t>(dst)];
+  double timeout = cfg_.timeout_factor * attempt_cost;
+  for (int attempt = 0; attempt + 1 < cfg_.max_attempts; ++attempt) {
+    if (rng.uniform() >= cfg_.drop_rate) break;
+    // The receiver waits out the timeout, then the sender retransmits.
+    d.retries += 1;
+    d.timeouts += 1;
+    d.extra_seconds += timeout + attempt_cost;
+    timeout *= cfg_.backoff;
+  }
+  return d;
+}
+
+}  // namespace canb::vmpi

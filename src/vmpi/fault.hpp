@@ -1,0 +1,124 @@
+// PerturbationModel: deterministic fault and straggler injection for the
+// virtual machine.
+//
+// The paper's claims are critical-path claims — max-over-ranks time under an
+// ideal alpha-beta-gamma schedule. Real machines jitter: ranks straggle
+// (OS noise, DVFS), links degrade (congestion, failing cables), messages
+// drop and must be retransmitted. This model perturbs the *costs* charged
+// to the VirtualComm without touching the data movement, so physics stays
+// exact while the clocks and the CostLedger reflect a degraded machine.
+//
+// Determinism contract:
+//  * Every stochastic decision draws from a per-rank xoshiro256** stream
+//    (support/rng) seeded from (seed, rank) via SplitMix64, or from a
+//    stateless hash of the link endpoints. A rank's draws happen in its own
+//    event order, so results are independent of rank iteration order and of
+//    the host thread count (per-rank engine loops are sequential per rank).
+//  * A model with all rates zero is inert: every factor is exactly 1.0 and
+//    no retries occur, so attaching it leaves clocks, ledgers, and
+//    trajectories bitwise identical to the unattached run (tested).
+//  * reset() reseeds the streams, so VirtualComm::reset() reproduces the
+//    same perturbation sequence on a fresh run.
+//
+// Injection points (hooks called by VirtualComm):
+//  * compute_factor(rank)      — multiplies charge_interactions time:
+//    lognormal jitter plus occasional straggler events.
+//  * link_factor(src, dst)     — stateless per-directed-link degradation
+//    multiplier on point-to-point message cost.
+//  * collective_factor(...)    — worst degraded tree edge of a collective.
+//  * plan_delivery(dst, cost)  — drop/retry schedule for one message:
+//    each dropped attempt costs a timeout (exponential backoff) plus a
+//    retransmission; retries/timeouts land in the CostLedger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace canb::vmpi {
+
+struct FaultConfig {
+  std::uint64_t seed = 2013;
+
+  // --- compute perturbation (charge_interactions) -----------------------
+  double jitter = 0.0;            ///< lognormal sigma on every compute charge
+  double straggler_rate = 0.0;    ///< per-charge probability of a straggler event
+  double straggler_factor = 4.0;  ///< slowdown multiplier while straggling
+
+  // --- link degradation (point-to-point and collective costing) ---------
+  double link_degrade_rate = 0.0;    ///< fraction of directed links degraded
+  double link_degrade_factor = 4.0;  ///< cost multiplier on a degraded link
+
+  // --- message loss (point-to-point rounds) -----------------------------
+  double drop_rate = 0.0;       ///< per-attempt drop probability
+  double timeout_factor = 3.0;  ///< first timeout = factor * attempt cost
+  double backoff = 2.0;         ///< timeout multiplier per further attempt
+  int max_attempts = 10;        ///< delivery is forced on the final attempt
+
+  bool compute_active() const noexcept { return jitter > 0.0 || straggler_rate > 0.0; }
+  bool link_active() const noexcept {
+    return link_degrade_rate > 0.0 && link_degrade_factor != 1.0;
+  }
+  bool drop_active() const noexcept { return drop_rate > 0.0; }
+  bool active() const noexcept { return compute_active() || link_active() || drop_active(); }
+
+  /// Throws PreconditionError on nonsensical rates/factors.
+  void validate() const;
+};
+
+class PerturbationModel {
+ public:
+  /// Outcome of delivering one message to a destination rank.
+  struct Delivery {
+    std::uint64_t retries = 0;   ///< retransmissions (dropped attempts)
+    std::uint64_t timeouts = 0;  ///< timeout expirations waited out
+    double extra_seconds = 0.0;  ///< wait + retransmission time beyond the clean send
+  };
+
+  PerturbationModel(FaultConfig cfg, int p);
+
+  const FaultConfig& config() const noexcept { return cfg_; }
+  int ranks() const noexcept { return static_cast<int>(streams_.size()); }
+  bool active() const noexcept { return cfg_.active(); }
+
+  /// Reseeds every per-rank stream; the next run replays the same faults.
+  void reset();
+
+  /// Multiplier on one compute charge for `rank`. Draws from the rank's
+  /// stream; exactly 1.0 when compute perturbation is off. Safe to call
+  /// concurrently for distinct ranks.
+  double compute_factor(int rank) noexcept;
+
+  /// Degradation multiplier of the directed link src -> dst. Stateless
+  /// (hash of seed and endpoints): the same link is degraded for the whole
+  /// run, matching a failing cable rather than per-message noise.
+  double link_factor(int src, int dst) const noexcept;
+
+  /// Degradation multiplier for a tree collective rooted at `root`:
+  /// the worst root->member edge bounds the pipelined tree.
+  template <class MemberFn>
+  double collective_factor(int root, int members, MemberFn&& member_of) const noexcept {
+    if (!cfg_.link_active()) return 1.0;
+    double worst = 1.0;
+    for (int i = 0; i < members; ++i) {
+      const int m = member_of(i);
+      if (m == root) continue;
+      const double f = link_factor(root, m);
+      if (f > worst) worst = f;
+    }
+    return worst;
+  }
+
+  /// Drop/retry schedule for one message whose clean (possibly degraded)
+  /// cost is `attempt_cost`. Draws from the *destination* rank's stream:
+  /// the receiver is the rank that waits, and each rank receives exactly
+  /// once per permutation round, keeping draws order-independent.
+  Delivery plan_delivery(int dst, double attempt_cost) noexcept;
+
+ private:
+  FaultConfig cfg_;
+  std::vector<Xoshiro256> streams_;  ///< one stream per rank
+};
+
+}  // namespace canb::vmpi

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "vmpi/cost_ledger.hpp"
@@ -79,5 +81,27 @@ class TraceRecorder {
   std::vector<CollectiveEvent> collectives_;
   int round_ = 0;
 };
+
+/// Canonical line-per-event text form of a trace, stable across platforms
+/// (integers only, no floats). Golden-trace regression tests diff this
+/// exactly against committed files; see docs/TESTING.md for regeneration.
+inline std::string serialize_trace(const TraceRecorder& trace) {
+  std::ostringstream out;
+  out << "rounds " << trace.rounds() << "\n";
+  for (const auto& e : trace.p2p()) {
+    out << "p2p round=" << e.round << " phase=" << phase_name(e.phase) << " src=" << e.src
+        << " dst=" << e.dst << " bytes=" << e.bytes << "\n";
+  }
+  for (const auto& e : trace.collectives()) {
+    out << "coll round=" << e.round << " phase=" << phase_name(e.phase)
+        << " op=" << (e.is_reduce ? "reduce" : "bcast") << " bytes=" << e.bytes << " members=";
+    for (std::size_t i = 0; i < e.members.size(); ++i) {
+      if (i) out << ",";
+      out << e.members[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
 
 }  // namespace canb::vmpi

@@ -37,6 +37,8 @@ void VirtualComm::reset() {
   std::fill(clock_.begin(), clock_.end(), 0.0);
   ledger_.reset();
   if (trace_) trace_->clear();
+  // Reseed the fault streams so a reset run replays the same perturbations.
+  if (fault_) fault_->reset();
 }
 
 void VirtualComm::advance(int rank, Phase phase, double seconds, std::uint64_t messages,
@@ -48,7 +50,9 @@ void VirtualComm::advance(int rank, Phase phase, double seconds, std::uint64_t m
 }
 
 void VirtualComm::charge_interactions(int rank, double interactions) {
-  advance(rank, Phase::Compute, model_.compute_time(interactions));
+  double seconds = model_.compute_time(interactions);
+  if (fault_) seconds *= fault_->compute_factor(rank);
+  advance(rank, Phase::Compute, seconds);
 }
 
 void VirtualComm::advance_all(Phase phase, double seconds, std::uint64_t messages,
@@ -63,7 +67,8 @@ void VirtualComm::whole_machine_collective(Phase phase, double bytes, bool is_re
   double t0 = 0.0;
   for (double c : clock_) t0 = std::max(t0, c);
   machine::CollectiveContext ctx{p_, bytes, p_, /*whole_partition=*/true};
-  const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+  double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+  if (fault_) t_coll *= fault_->collective_factor(0, p_, [](int i) { return i; });
   const double finish = t0 + t_coll;
   const auto msgs = static_cast<std::uint64_t>(model_.collective_messages(p_));
   for (int r = 0; r < p_; ++r) {

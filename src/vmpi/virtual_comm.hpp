@@ -23,6 +23,7 @@
 #include "machine/machine_model.hpp"
 #include "support/assert.hpp"
 #include "vmpi/cost_ledger.hpp"
+#include "vmpi/fault.hpp"
 #include "vmpi/grid.hpp"
 #include "vmpi/trace.hpp"
 
@@ -48,6 +49,20 @@ class VirtualComm {
   /// for tests and debugging — it records every message.
   void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
   TraceRecorder* trace() const noexcept { return trace_; }
+
+  /// Attaches a fault/straggler model (not owned; nullptr detaches). The
+  /// model perturbs *costs* only — data movement and physics are unchanged.
+  /// A model with all rates zero is inert: clocks and ledgers stay bitwise
+  /// identical to a detached run. Must cover exactly `size()` ranks.
+  void set_fault(PerturbationModel* fault) {
+    CANB_REQUIRE(fault == nullptr || fault->ranks() == p_,
+                 "fault model must cover exactly p ranks");
+    fault_ = fault;
+  }
+  PerturbationModel* fault() const noexcept { return fault_; }
+  /// True when an attached model actually perturbs something (engines use
+  /// this to disable uniform-schedule fast paths).
+  bool fault_active() const noexcept { return fault_ != nullptr && fault_->active(); }
 
   // --- local charges -----------------------------------------------------
   /// Advances one rank's clock, attributing to `phase`.
@@ -86,12 +101,26 @@ class VirtualComm {
       if (w <= 0.0) continue;
       if (trace_) trace_->record_p2p(phase, src, r, static_cast<std::uint64_t>(w));
       const int hops = hop_aware ? hop_topology_->hops(src, r) : 1;
-      const double cost = shift_phase ? m.shift_time(w, hops) : m.p2p_time(w, hops);
+      double cost = shift_phase ? m.shift_time(w, hops) : m.p2p_time(w, hops);
+      std::uint64_t msgs = 1;
+      std::uint64_t wire_bytes = static_cast<std::uint64_t>(w);
+      if (fault_) {
+        // A degraded link slows the whole transfer; drops cost a timeout
+        // wait plus a full retransmission per failed attempt, all charged
+        // to the receiving rank's clock in this phase.
+        cost *= fault_->link_factor(src, r);
+        const auto d = fault_->plan_delivery(r, cost);
+        if (d.retries > 0) {
+          cost += d.extra_seconds;
+          msgs += d.retries;
+          wire_bytes += static_cast<std::uint64_t>(w) * d.retries;
+          ledger_.charge_fault(r, phase, d.retries, d.timeouts);
+        }
+      }
       const double start = std::max(clock_[static_cast<std::size_t>(r)],
                                     scratch_[static_cast<std::size_t>(src)]);
       const double finish = start + cost;
-      advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], 1,
-              static_cast<std::uint64_t>(w));
+      advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs, wire_bytes);
       clock_[static_cast<std::size_t>(r)] = finish;
     }
   }
@@ -127,7 +156,12 @@ class VirtualComm {
       const double w = bytes_of_group(static_cast<int>(g));
       machine::CollectiveContext ctx{static_cast<int>(members.size()), w, p_,
                                      static_cast<int>(members.size()) == p_};
-      const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      if (fault_) {
+        t_coll *= fault_->collective_factor(
+            members.front(), static_cast<int>(members.size()),
+            [&](int i) { return members[static_cast<std::size_t>(i)]; });
+      }
       const double finish = t0 + t_coll;
       if (trace_) trace_->record_collective(phase, is_reduce, members, static_cast<std::uint64_t>(w));
       const auto msgs =
@@ -158,7 +192,12 @@ class VirtualComm {
         t0 = std::max(t0, clock_[static_cast<std::size_t>(grid.rank(row, col))]);
       const double w = bytes_of_team(col);
       machine::CollectiveContext ctx{c, w, p_, /*whole_partition=*/c == p_};
-      const double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
+      if (fault_) {
+        // The pipelined tree is bounded by its worst leader->member edge.
+        t_coll *= fault_->collective_factor(grid.leader(col), c,
+                                            [&](int row) { return grid.rank(row, col); });
+      }
       const double finish = t0 + t_coll;
       if (trace_) {
         std::vector<int> members;
@@ -184,6 +223,7 @@ class VirtualComm {
   std::vector<double> clock_;
   std::vector<double> scratch_;
   TraceRecorder* trace_ = nullptr;
+  PerturbationModel* fault_ = nullptr;
   /// Topology used for hop-aware latency; set in the constructor when the
   /// model requests it (alpha_hop > 0). Sized to exactly p ranks.
   std::shared_ptr<const machine::Topology> hop_topology_;

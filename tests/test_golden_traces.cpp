@@ -1,0 +1,96 @@
+// Golden-trace regression tests: the full communication event stream of one
+// small all-pairs and one small cutoff configuration, serialized to text and
+// diffed exactly against committed files in tests/golden/.
+//
+// Where test_trace.cpp checks structural *properties* of the schedules,
+// these tests pin the schedules byte-for-byte: any reordering, re-phasing,
+// or payload-size change — intended or not — shows up as a golden diff.
+//
+// Regeneration (after an intended schedule change):
+//     CANB_REGEN_GOLDEN=1 ./build/tests/test_golden_traces
+// rewrites the files under tests/golden/ in the source tree; re-run without
+// the variable to confirm, then commit the diff. See docs/TESTING.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/trace.hpp"
+
+#ifndef CANB_GOLDEN_DIR
+#error "CANB_GOLDEN_DIR must point at tests/golden in the source tree"
+#endif
+
+namespace {
+
+using namespace canb;
+
+std::string golden_path(const std::string& name) {
+  return std::string(CANB_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// golden file when CANB_REGEN_GOLDEN is set in the environment.
+void check_golden(const std::string& name, const std::string& actual) {
+  const auto path = golden_path(name);
+  if (std::getenv("CANB_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  const auto expected = read_file(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path
+                                 << " — regenerate with CANB_REGEN_GOLDEN=1";
+  EXPECT_EQ(expected, actual) << "schedule diverged from " << path
+                              << "; if intended, regenerate with CANB_REGEN_GOLDEN=1";
+}
+
+// Team counts are deliberately non-uniform: uniform counts would let a bug
+// that swaps teams slip through the byte diff.
+TEST(GoldenTraces, AllPairsP12C2TwoSteps) {
+  const int p = 12;
+  const int c = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < p / c; ++t) blocks.push_back({static_cast<std::uint64_t>(3 + t)});
+  core::PhantomPolicy policy({0.0, /*bulk=*/false});
+  core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                               std::move(blocks));
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.run(2);
+  check_golden("allpairs_p12_c2.trace", vmpi::serialize_trace(trace));
+}
+
+TEST(GoldenTraces, Cutoff1dQ8M2C2TwoSteps) {
+  const int q = 8;
+  const int c = 2;
+  const int m = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < q; ++t) blocks.push_back({static_cast<std::uint64_t>(2 + t % 3)});
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.05, /*bulk=*/false});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), /*periodic=*/true},
+      policy, std::move(blocks));
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.run(2);
+  check_golden("cutoff1d_q8_m2_c2.trace", vmpi::serialize_trace(trace));
+}
+
+}  // namespace

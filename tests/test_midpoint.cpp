@@ -70,9 +70,12 @@ INSTANTIATE_TEST_SUITE_P(Sweep, Midpoint1d,
                                            Param{96, 16, false}, Param{64, 8, true},
                                            Param{120, 16, true}),
                          [](const auto& pinfo) {
-                           return "n" + std::to_string(pinfo.param.n) + "_q" +
-                                  std::to_string(pinfo.param.q) +
-                                  (pinfo.param.periodic ? "_periodic" : "_reflective");
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "_q";
+                           name += std::to_string(pinfo.param.q);
+                           name += pinfo.param.periodic ? "_periodic" : "_reflective";
+                           return name;
                          });
 
 TEST(Midpoint2d, MatchesSerialReference) {

@@ -7,9 +7,14 @@
 //  P4  total examined interactions equal the analytic schedule count
 //  P5  real and phantom ledgers agree for random configurations
 //  P6  gather() preserves the particle set (no loss, no duplication)
+//  P7  a zero-rate PerturbationModel is bitwise inert: ledger, clocks, and
+//      trajectories match the no-model path exactly
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "core/ca_all_pairs.hpp"
@@ -19,6 +24,7 @@
 #include "machine/presets.hpp"
 #include "particles/init.hpp"
 #include "support/rng.hpp"
+#include "vmpi/fault.hpp"
 
 namespace {
 
@@ -211,6 +217,116 @@ TEST(Properties, GatherConservesParticleSetAcrossRandomRuns) {
     particles::sort_by_id(all);
     ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)].id, i);
+  }
+}
+
+// --- P7: an all-zero fault model is bitwise inert ----------------------------------
+
+// Attaching a PerturbationModel whose rates are all zero must leave every
+// observable — per-rank clocks, every CostLedger field, trajectories —
+// *bitwise* identical to running without a model. All fault hooks multiply
+// by exactly 1.0 or add empty deliveries, so the guarantee is exact, not
+// approximate. Seed honors CANB_FAULT_SEED (the seed must be irrelevant at
+// zero rates — the CI matrix verifies that by sweeping it).
+TEST(Properties, ZeroRateFaultModelIsBitwiseInert) {
+  const std::uint64_t fault_seed =
+      std::getenv("CANB_FAULT_SEED")
+          ? static_cast<std::uint64_t>(std::strtoull(std::getenv("CANB_FAULT_SEED"), nullptr, 10))
+          : 2013;
+  Xoshiro256 rng(fault_seed ^ 0xabcdef);
+  const Box box2 = Box::reflective_2d(1.0);
+  const Box box1 = Box::reflective_1d(1.0);
+
+  auto expect_comms_bitwise_equal = [](const vmpi::VirtualComm& a, const vmpi::VirtualComm& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (int r = 0; r < a.size(); ++r) {
+      EXPECT_EQ(a.clock(r), b.clock(r));
+      EXPECT_EQ(a.ledger().messages(r), b.ledger().messages(r));
+      EXPECT_EQ(a.ledger().bytes(r), b.ledger().bytes(r));
+      EXPECT_EQ(a.ledger().retries(r), b.ledger().retries(r));
+      EXPECT_EQ(a.ledger().timeouts(r), b.ledger().timeouts(r));
+      for (int ph = 0; ph < vmpi::kPhaseCount; ++ph) {
+        EXPECT_EQ(a.ledger().seconds(r, static_cast<vmpi::Phase>(ph)),
+                  b.ledger().seconds(r, static_cast<vmpi::Phase>(ph)));
+      }
+    }
+  };
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const int candidates[][2] = {{8, 2}, {12, 2}, {16, 4}, {36, 6}};
+    const auto& pc = candidates[rng.uniform_int(4)];
+    const int p = pc[0];
+    const int c = pc[1];
+    const int n = 24 + static_cast<int>(rng.uniform_int(60));
+    const auto init = particles::init_uniform(n, box2, 2000 + trial, 0.02);
+    vmpi::FaultConfig zero;
+    zero.seed = fault_seed + static_cast<std::uint64_t>(trial);
+
+    auto run = [&](bool with_model) {
+      Policy policy({box2, InverseSquareRepulsion{1e-4, 1e-2}, 0.0, 1e-4});
+      struct Result {
+        std::unique_ptr<core::CaAllPairs<Policy>> engine;
+        std::unique_ptr<vmpi::PerturbationModel> model;
+      } res;
+      res.engine = std::make_unique<core::CaAllPairs<Policy>>(
+          core::CaAllPairs<Policy>::Config{p, c, machine::laptop()}, std::move(policy),
+          decomp::split_even(init, p / c));
+      if (with_model) {
+        res.model = std::make_unique<vmpi::PerturbationModel>(zero, p);
+        EXPECT_FALSE(res.model->active());
+        res.engine->comm().set_fault(res.model.get());
+      }
+      res.engine->run(2);
+      return res;
+    };
+
+    const auto bare = run(false);
+    const auto modeled = run(true);
+    expect_comms_bitwise_equal(bare.engine->comm(), modeled.engine->comm());
+    auto lhs = decomp::concat(bare.engine->team_results());
+    auto rhs = decomp::concat(modeled.engine->team_results());
+    particles::sort_by_id(lhs);
+    particles::sort_by_id(rhs);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].px, rhs[i].px);
+      EXPECT_EQ(lhs[i].py, rhs[i].py);
+      EXPECT_EQ(lhs[i].vx, rhs[i].vx);
+      EXPECT_EQ(lhs[i].vy, rhs[i].vy);
+    }
+  }
+
+  // Same property on the cutoff engine (different schedule, different phases).
+  for (int trial = 0; trial < 2; ++trial) {
+    const int q = 8;
+    const int c = 2;
+    const int n = 30 + static_cast<int>(rng.uniform_int(40));
+    const auto init = particles::init_uniform(n, box1, 3000 + trial, 2.0);
+    const int m = core::window_radius_teams(0.25, 1.0, q);
+    vmpi::FaultConfig zero;
+    zero.seed = fault_seed + 100 + static_cast<std::uint64_t>(trial);
+
+    auto run = [&](bool with_model) {
+      Policy policy({box1, InverseSquareRepulsion{1e-4, 1e-2}, 0.25, 2e-3});
+      struct Result {
+        std::unique_ptr<core::CaCutoff<Policy>> engine;
+        std::unique_ptr<vmpi::PerturbationModel> model;
+      } res;
+      res.engine = std::make_unique<core::CaCutoff<Policy>>(
+          core::CaCutoff<Policy>::Config{q * c, c, machine::laptop(),
+                                         core::CutoffGeometry::make_1d(q, m), false},
+          std::move(policy), decomp::split_spatial_1d(init, box1, q));
+      if (with_model) {
+        res.model = std::make_unique<vmpi::PerturbationModel>(zero, q * c);
+        res.engine->comm().set_fault(res.model.get());
+      }
+      res.engine->run(2);
+      return res;
+    };
+
+    const auto bare = run(false);
+    const auto modeled = run(true);
+    expect_comms_bitwise_equal(bare.engine->comm(), modeled.engine->comm());
   }
 }
 

@@ -17,13 +17,13 @@
 //
 //   ./bench/fault_sweep --out=BENCH_faults.json --fault-seed=2013
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/export.hpp"
 #include "support/cli.hpp"
 #include "vmpi/fault.hpp"
 
@@ -152,26 +152,26 @@ void run_panel(const std::string& panel, const machine::MachineModel& m, int p,
   table.print(std::cout);
 }
 
-void write_json(const std::string& path, std::uint64_t seed,
+void write_json(const std::string& path, std::uint64_t seed, int steps,
                 const std::vector<DataPoint>& points) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"fault_sweep\",\n  \"unit\": \"seconds_per_step\",\n"
-      << "  \"fault_seed\": " << seed << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& d = points[i];
-    char buf[320];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"panel\": \"%s\", \"machine\": \"%s\", \"p\": %d, \"n\": %llu, "
-                  "\"scenario\": \"%s\", \"c\": %d, \"total\": %.6g, \"comm\": %.6g, "
-                  "\"retries\": %llu, \"timeouts\": %llu}%s\n",
-                  d.panel.c_str(), d.machine.c_str(), d.p,
-                  static_cast<unsigned long long>(d.n), d.scenario.c_str(), d.c, d.total,
-                  d.comm, static_cast<unsigned long long>(d.retries),
-                  static_cast<unsigned long long>(d.timeouts),
-                  i + 1 < points.size() ? "," : "");
-    out << buf;
+  obs::RunManifest manifest;
+  manifest.machine = "hopper,intrepid";  // per-row `machine` names the panel's model
+  manifest.set("fault_seed", seed).set("steps", steps);
+  obs::BenchJsonWriter out(path, "fault_sweep", "seconds_per_step", manifest);
+  for (const auto& d : points) {
+    out.row([&](obs::JsonWriter& w) {
+      w.kv("panel", d.panel)
+          .kv("machine", d.machine)
+          .kv("p", d.p)
+          .kv("n", d.n)
+          .kv("scenario", d.scenario)
+          .kv("c", d.c)
+          .kv("total", d.total)
+          .kv("comm", d.comm)
+          .kv("retries", d.retries)
+          .kv("timeouts", d.timeouts);
+    });
   }
-  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -191,7 +191,7 @@ int main(int argc, char** argv) {
   run_panel("2b", machine::hopper(), 24576, 196608, c_min, 64, scenarios, steps, points);
   run_panel("2d", machine::intrepid(), 32768, 262144, c_min, 128, scenarios, steps, points);
 
-  write_json(out_path, seed, points);
+  write_json(out_path, seed, steps, points);
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

@@ -7,12 +7,12 @@
 //   ./bench/kernel_engines_bench --out=BENCH_kernels.json --min-ms=150
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "particles/batched_engine.hpp"
 #include "particles/cell_list.hpp"
 #include "particles/init.hpp"
@@ -127,20 +127,21 @@ Measurement measure(const std::string& name, const K& kernel, int n, double min_
   return m;
 }
 
-void write_json(const std::string& path, const std::vector<Measurement>& ms) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"kernel_engines\",\n  \"unit\": \"pairs_per_sec\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < ms.size(); ++i) {
-    const auto& m = ms[i];
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"kernel\": \"%s\", \"n\": %d, \"scalar\": %.6g, \"batched\": %.6g, "
-                  "\"speedup\": %.3f}%s\n",
-                  m.kernel.c_str(), m.n, m.scalar_pairs_per_sec, m.batched_pairs_per_sec,
-                  m.speedup(), i + 1 < ms.size() ? "," : "");
-    out << buf;
+void write_json(const std::string& path, const std::vector<Measurement>& ms, double min_ms,
+                int repeats) {
+  obs::RunManifest manifest;
+  manifest.machine = "host";
+  manifest.set("min_ms", min_ms).set("repeats", repeats);
+  obs::BenchJsonWriter out(path, "kernel_engines", "pairs_per_sec", manifest);
+  for (const auto& m : ms) {
+    out.row([&](obs::JsonWriter& w) {
+      w.kv("kernel", m.kernel)
+          .kv("n", m.n)
+          .kv("scalar", m.scalar_pairs_per_sec)
+          .kv("batched", m.batched_pairs_per_sec)
+          .kv("speedup", m.speedup());
+    });
   }
-  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -170,7 +171,7 @@ int main(int argc, char** argv) {
                                    min_ms, repeats));
   }
 
-  write_json(out_path, ms);
+  write_json(out_path, ms, min_ms, repeats);
   std::cout << "kernel      n      scalar(p/s)   batched(p/s)  speedup\n";
   for (const auto& m : ms) {
     std::printf("%-12s %-6d %-13.4g %-13.4g %.2fx\n", m.kernel.c_str(), m.n,

@@ -13,13 +13,13 @@
 // not a claim from memory.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "machine/presets.hpp"
+#include "obs/export.hpp"
 #include "particles/init.hpp"
 #include "sim/simulation.hpp"
 #include "support/cli.hpp"
@@ -87,24 +87,30 @@ double measure_steps_per_sec(const Case& cs, double min_ms, int repeats) {
   return best;
 }
 
-void write_json(const std::string& path, const std::vector<Result>& rs) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"step_throughput\",\n  \"unit\": \"steps_per_sec\",\n"
-      << "  \"note\": \"host wall time per full timestep via sim::Simulation; "
-         "virtual-time ledgers are engine- and layout-invariant\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < rs.size(); ++i) {
-    const auto& r = rs[i];
-    char buf[320];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"method\": \"%s\", \"n\": %d, \"p\": %d, \"c\": %d, "
-                  "\"cutoff\": %g, \"engine\": \"%s\", \"threads\": %d, "
-                  "\"steps_per_sec\": %.6g}%s\n",
-                  sim::method_name(r.cfg.method), r.cfg.n, r.cfg.p, r.cfg.c, r.cfg.cutoff,
-                  engine_label(r.cfg.engine), r.cfg.threads, r.steps_per_sec,
-                  i + 1 < rs.size() ? "," : "");
-    out << buf;
+void write_json(const std::string& path, const std::vector<Result>& rs, double min_ms,
+                int repeats) {
+  obs::RunManifest manifest;
+  manifest.machine = "host";
+  manifest
+      .set("note",
+           "host wall time per full timestep via sim::Simulation; virtual-time ledgers are "
+           "engine- and layout-invariant")
+      .set("virtual_machine", "hopper")
+      .set("min_ms", min_ms)
+      .set("repeats", repeats);
+  obs::BenchJsonWriter out(path, "step_throughput", "steps_per_sec", manifest);
+  for (const auto& r : rs) {
+    out.row([&](obs::JsonWriter& w) {
+      w.kv("method", sim::method_name(r.cfg.method))
+          .kv("n", r.cfg.n)
+          .kv("p", r.cfg.p)
+          .kv("c", r.cfg.c)
+          .kv("cutoff", r.cfg.cutoff)
+          .kv("engine", engine_label(r.cfg.engine))
+          .kv("threads", r.cfg.threads)
+          .kv("steps_per_sec", r.steps_per_sec);
+    });
   }
-  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -137,7 +143,7 @@ int main(int argc, char** argv) {
     std::printf("%-13s %-6d %-4d %-2d %-8s %-4d %.2f\n", sim::method_name(cs.method), cs.n,
                 cs.p, cs.c, engine_label(cs.engine), cs.threads, r.steps_per_sec);
   }
-  write_json(out_path, results);
+  write_json(out_path, results, min_ms, repeats);
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

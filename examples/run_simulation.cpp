@@ -24,13 +24,28 @@
 //   --jitter        lognormal sigma on every compute charge
 //   --drop-rate     per-attempt message drop probability (retries charged)
 //   --link-degrade  fraction of directed links degraded (4x slower)
+//
+// Observability (docs/OBSERVABILITY.md). Attaching telemetry never changes
+// clocks, ledgers, or trajectories:
+//   --obs-level     off | metrics | full (defaults to off; implied by the
+//                   output flags below: metrics-out => metrics, trace-out
+//                   or spans-csv => full)
+//   --metrics-out   write metrics JSON here, plus Prometheus text next to
+//                   it (same path with a .prom extension)
+//   --trace-out     write a Chrome trace-event JSON (chrome://tracing,
+//                   Perfetto) of the per-rank span timeline
+//   --spans-csv     write the per-(sample, rank) clock time series as CSV
+// At full level the run also prints the recovered critical path and the
+// report table grows cp-rank / cp(s) / slack(s) columns.
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <thread>
 
 #include "core/autotuner.hpp"
 #include "machine/presets.hpp"
+#include "obs/export.hpp"
 #include "particles/diagnostics.hpp"
 #include "particles/init.hpp"
 #include "sim/checkpoint.hpp"
@@ -83,7 +98,8 @@ int main(int argc, char** argv) {
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
                       "threads", "integrator", "engine", "fault-seed", "straggler", "jitter",
-                      "drop-rate", "link-degrade"});
+                      "drop-rate", "link-degrade", "obs-level", "metrics-out", "trace-out",
+                      "spans-csv"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -109,6 +125,23 @@ int main(int argc, char** argv) {
     fault.link_degrade_rate = args.get_double("link-degrade", 0.0);
     cfg.fault = fault;
   }
+
+  // Observability level: explicit flag wins; otherwise the requested
+  // outputs imply the cheapest level that can produce them.
+  if (args.has("obs-level")) {
+    const auto level = obs::parse_obs_level(args.get("obs-level", "off"));
+    CANB_REQUIRE(level.has_value(), "unknown --obs-level (off | metrics | full)");
+    cfg.obs = *level;
+  } else if (args.has("trace-out") || args.has("spans-csv")) {
+    cfg.obs = obs::ObsLevel::Full;
+  } else if (args.has("metrics-out")) {
+    cfg.obs = obs::ObsLevel::Metrics;
+  }
+  CANB_REQUIRE(!(args.has("trace-out") || args.has("spans-csv")) ||
+                   cfg.obs == obs::ObsLevel::Full,
+               "--trace-out/--spans-csv need --obs-level=full (span sampling)");
+  CANB_REQUIRE(!args.has("metrics-out") || cfg.obs != obs::ObsLevel::Off,
+               "--metrics-out needs --obs-level=metrics or full");
 
   particles::Block initial;
   std::int64_t step0 = 0;
@@ -173,8 +206,64 @@ int main(int argc, char** argv) {
     std::cout << "checkpoint written to " << args.get("checkpoint", "") << "\n";
   }
 
+  obs::CriticalPathReport cp;
+  if (auto* telem = simulation.telemetry()) {
+    cp = simulation.finalize_telemetry();
+    obs::RunManifest manifest;
+    manifest.machine = cfg.machine.name;
+    manifest.set("method", sim::method_name(cfg.method))
+        .set("workload", args.get("workload", "uniform"))
+        .set("n", n)
+        .set("p", cfg.p)
+        .set("c", cfg.c)
+        .set("steps", steps)
+        .set("dt", cfg.dt)
+        .set("cutoff", cfg.cutoff)
+        .set("seed", seed)
+        .set("integrator", cfg.integrator)
+        .set("obs_level", obs::obs_level_name(telem->level()));
+    if (cfg.fault) {
+      manifest.set("fault_seed", cfg.fault->seed)
+          .set("straggler", cfg.fault->straggler_rate)
+          .set("jitter", cfg.fault->jitter)
+          .set("drop_rate", cfg.fault->drop_rate)
+          .set("link_degrade", cfg.fault->link_degrade_rate);
+    }
+    if (args.has("metrics-out")) {
+      const std::string path = args.get("metrics-out", "");
+      std::ofstream out(path);
+      CANB_REQUIRE(out.good(), "cannot open --metrics-out file: " + path);
+      obs::write_metrics_json(out, telem->metrics(), manifest,
+                              telem->spans_enabled() ? &cp : nullptr);
+      // Prometheus text rides along under the same stem.
+      const auto dot = path.rfind('.');
+      const std::string prom_path = path.substr(0, dot == std::string::npos ? path.size() : dot) + ".prom";
+      std::ofstream prom(prom_path);
+      CANB_REQUIRE(prom.good(), "cannot open Prometheus output file: " + prom_path);
+      prom << obs::to_prometheus(telem->metrics());
+      std::cout << "metrics written to " << path << " (+" << prom_path << ")\n";
+    }
+    if (args.has("trace-out")) {
+      const std::string path = args.get("trace-out", "");
+      std::ofstream out(path);
+      CANB_REQUIRE(out.good(), "cannot open --trace-out file: " + path);
+      obs::write_chrome_trace(out, telem->spans(), telem->trace(), &manifest);
+      std::cout << "chrome trace written to " << path
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (args.has("spans-csv")) {
+      const std::string path = args.get("spans-csv", "");
+      std::ofstream out(path);
+      CANB_REQUIRE(out.good(), "cannot open --spans-csv file: " + path);
+      obs::write_span_csv(out, telem->spans());
+      std::cout << "span time series written to " << path << "\n";
+    }
+    if (telem->spans_enabled()) std::cout << obs::format_critical_path(cp);
+  }
+
   if (args.get_bool("report", false)) {
     std::vector<sim::RunReport> reps{simulation.report()};
+    if (cp.end_rank >= 0) sim::annotate_critical_path(reps.front(), cp);
     sim::print_reports(std::cout, reps);
   }
 

@@ -10,8 +10,14 @@ Produces one stacked-bar PNG per panel CSV (matplotlib required), in the
 style of the paper's Figures 2 and 6: execution time per timestep broken
 into Computation / Broadcast / Skew / Shift / Reduce / Re-assign, one bar
 per replication factor.
+
+BENCH_*.json files in the directory are also summarized. Both schemas are
+understood: the legacy hand-rolled v1 layout ({"results": [...]}) and the
+versioned v2 layout written by obs::BenchJsonWriter ({"schema_version": 2,
+"manifest": {...}, "rows": [...]}).
 """
 import csv
+import json
 import sys
 from pathlib import Path
 
@@ -60,18 +66,55 @@ def plot_panel(csv_path: Path, out_dir: Path) -> None:
     print(f"  {out}")
 
 
+def load_bench(path: Path):
+    """Loads a bench JSON file, normalizing v1 and v2 schemas.
+
+    Returns (meta, rows): meta has "bench", "unit", "schema_version", and
+    "manifest" keys (manifest is {} for v1 files, which predate it); rows
+    is the flat list of result dicts from "rows" (v2) or "results" (v1).
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    version = int(doc.get("schema_version", 1))
+    meta = {
+        "bench": doc.get("bench", path.stem),
+        "unit": doc.get("unit", ""),
+        "schema_version": version,
+        "manifest": doc.get("manifest", {}) if version >= 2 else {},
+    }
+    rows = doc.get("rows" if version >= 2 else "results", [])
+    return meta, rows
+
+
+def summarize_bench(path: Path) -> None:
+    meta, rows = load_bench(path)
+    machine = meta["manifest"].get("machine", "")
+    extra = f", machine={machine}" if machine else ""
+    print(
+        f"  {path.name}: {meta['bench']} v{meta['schema_version']}, "
+        f"{len(rows)} rows in {meta['unit']}{extra}"
+    )
+
+
 def main() -> int:
     if len(sys.argv) != 2:
         print(__doc__)
         return 2
     csv_dir = Path(sys.argv[1])
     csvs = sorted(csv_dir.glob("fig*.csv"))
-    if not csvs:
-        print(f"no fig*.csv files in {csv_dir}; run the benches with CANB_CSV_DIR set")
+    benches = sorted(csv_dir.glob("BENCH_*.json"))
+    if not csvs and not benches:
+        print(f"no fig*.csv or BENCH_*.json files in {csv_dir}; "
+              "run the benches with CANB_CSV_DIR set")
         return 1
-    print(f"plotting {len(csvs)} panels:")
-    for path in csvs:
-        plot_panel(path, csv_dir)
+    if benches:
+        print(f"found {len(benches)} bench result files:")
+        for path in benches:
+            summarize_bench(path)
+    if csvs:
+        print(f"plotting {len(csvs)} panels:")
+        for path in csvs:
+            plot_panel(path, csv_dir)
     return 0
 
 

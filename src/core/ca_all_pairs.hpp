@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "obs/telemetry.hpp"
 #include "particles/integrator.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
@@ -81,8 +82,18 @@ class CaAllPairs {
   /// stays sequential per rank, so results are bitwise identical to serial.
   void set_host_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
+  /// Attaches telemetry (not owned; nullptr detaches). Observation is
+  /// passive — ledger and clocks are bitwise unchanged — but Full-level
+  /// spans disable the bulk fast path so every message is traceable (the
+  /// two schedules produce identical ledgers; tests pin this).
+  void set_telemetry(obs::Telemetry* telem) {
+    telem_ = telem;
+    if (telem_ != nullptr) telem_->attach(vc_);
+  }
+
   /// Executes one full timestep (force evaluation + integration).
   void step() {
+    if (telem_ != nullptr) telem_->begin_step(vc_);
     pre_integrate();
     broadcast_and_stage();
     if (use_bulk_path()) {
@@ -92,7 +103,9 @@ class CaAllPairs {
     }
     vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes,
                        [](Buffer& acc, const Buffer& in) { Policy::combine(acc, in); });
+    boundary(vmpi::Phase::Reduce, "reduce");
     post_integrate();
+    boundary(vmpi::Phase::Compute, "integrate");
   }
 
   void run(int steps) {
@@ -130,8 +143,13 @@ class CaAllPairs {
     }
   }
 
+  void boundary(vmpi::Phase phase, const char* label) {
+    if (telem_ != nullptr) telem_->phase_boundary(vc_, phase, label);
+  }
+
   void broadcast_and_stage() {
     vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes);
+    boundary(vmpi::Phase::Broadcast, "broadcast");
     for (int r = 0; r < cfg_.p; ++r) {
       auto& c = carried_[static_cast<std::size_t>(r)];
       c.buf = resident_[static_cast<std::size_t>(r)];
@@ -139,6 +157,7 @@ class CaAllPairs {
     }
     vmpi::skew_rows(vc_, grid_, [](int row) { return row; }, carried_,
                     &CaAllPairs::carried_bytes);
+    boundary(vmpi::Phase::Skew, "skew");
   }
 
   // Note a refinement over the paper's pseudocode: we interact with the
@@ -150,9 +169,12 @@ class CaAllPairs {
   // exactly the classic p-1-round systolic ring.
   void shift_loop() {
     interact_all();
+    boundary(vmpi::Phase::Compute, "interact");
     for (int j = 1; j < steps_; ++j) {
       vmpi::shift_rows(vc_, grid_, grid_.rows(), carried_, &CaAllPairs::carried_bytes);
+      boundary(vmpi::Phase::Shift, "shift");
       interact_all();
+      boundary(vmpi::Phase::Compute, "interact");
     }
   }
 
@@ -187,6 +209,11 @@ class CaAllPairs {
       // Fault injection perturbs ranks individually; fall back to the
       // per-step schedule so every draw lands on the right rank stream.
       if (vc_.fault_active()) return false;
+      // Telemetry wants every message observable (counters, trace, spans);
+      // the bulk shortcut charges them in one unobserved blob. Ledger
+      // output is identical either way (pinned by the bulk-equivalence
+      // tests), so this only trades speed for observability.
+      if (telem_ != nullptr && telem_->enabled()) return false;
       const std::uint64_t c0 = Policy::count(resident_[static_cast<std::size_t>(grid_.leader(0))]);
       for (int t = 1; t < grid_.cols(); ++t) {
         if (Policy::count(resident_[static_cast<std::size_t>(grid_.leader(t))]) != c0) return false;
@@ -238,6 +265,7 @@ class CaAllPairs {
   vmpi::VirtualComm vc_;
   std::unique_ptr<particles::Integrator> integrator_;
   std::shared_ptr<ThreadPool> pool_;
+  obs::Telemetry* telem_ = nullptr;
   std::vector<Buffer> resident_;
   std::vector<Carried> carried_;
   int steps_ = 0;

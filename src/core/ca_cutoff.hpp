@@ -25,6 +25,7 @@
 #include "core/policy.hpp"
 #include "core/reassign.hpp"
 #include "decomp/partition.hpp"
+#include "obs/telemetry.hpp"
 #include "particles/integrator.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
@@ -98,19 +99,35 @@ class CaCutoff {
   /// CaAllPairs::set_host_pool.
   void set_host_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
+  /// Attaches telemetry (not owned; nullptr detaches); see
+  /// CaAllPairs::set_telemetry — observation is passive.
+  void set_telemetry(obs::Telemetry* telem) {
+    telem_ = telem;
+    if (telem_ != nullptr) telem_->attach(vc_);
+  }
+
   void step() {
+    if (telem_ != nullptr) telem_->begin_step(vc_);
     pre_integrate();
     vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes);
+    boundary(vmpi::Phase::Broadcast, "broadcast");
     stage_and_skew();
+    boundary(vmpi::Phase::Skew, "skew");
     interact_slot(0);
+    boundary(vmpi::Phase::Compute, "interact");
     for (int j = 1; j < slots_; ++j) {
       shift_to_slot(j);
+      boundary(vmpi::Phase::Shift, "shift");
       interact_slot(j);
+      boundary(vmpi::Phase::Compute, "interact");
     }
     vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes,
                        [](Buffer& acc, const Buffer& in) { Policy::combine(acc, in); });
+    boundary(vmpi::Phase::Reduce, "reduce");
     post_integrate();
+    boundary(vmpi::Phase::Compute, "integrate");
     reassign();
+    boundary(vmpi::Phase::Reassign, "reassign");
   }
 
   void run(int steps) {
@@ -134,6 +151,10 @@ class CaCutoff {
   }
 
  private:
+  void boundary(vmpi::Phase phase, const char* label) {
+    if (telem_ != nullptr) telem_->phase_boundary(vc_, phase, label);
+  }
+
   void pre_integrate() {
     if constexpr (!Policy::kIsPhantom) {
       for (int t = 0; t < grid_.cols(); ++t)
@@ -257,6 +278,7 @@ class CaCutoff {
   vmpi::VirtualComm vc_;
   std::unique_ptr<particles::Integrator> integrator_;
   std::shared_ptr<ThreadPool> pool_;
+  obs::Telemetry* telem_ = nullptr;
   std::vector<Buffer> resident_;
   std::vector<Buffer> carried_;
   std::vector<Buffer> scratch_;

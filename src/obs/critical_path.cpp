@@ -1,0 +1,140 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace canb::obs {
+
+int CriticalPathReport::dominant_rank() const noexcept {
+  if (rank_path_seconds.empty()) return -1;
+  const auto it = std::max_element(rank_path_seconds.begin(), rank_path_seconds.end());
+  return static_cast<int>(it - rank_path_seconds.begin());
+}
+
+double CriticalPathReport::mean_slack() const noexcept {
+  if (slack.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : slack) s += v;
+  return s / static_cast<double>(slack.size());
+}
+
+namespace {
+
+/// The rank whose clock at the *previous* boundary bound the walked rank's
+/// span start. Candidates: the rank itself, senders of p2p messages it
+/// received during the span, and every member of collectives it joined
+/// (a tree collective synchronizes the whole member set). Ties prefer the
+/// rank itself (no chain hop without evidence), then the lowest rank.
+int binding_predecessor(const SpanSample& prev, const SpanSample& cur, int rank,
+                        const vmpi::TraceRecorder* trace) {
+  const auto& clocks = prev.clocks;
+  int best = rank;
+  double best_clock = clocks[static_cast<std::size_t>(rank)];
+  auto consider = [&](int cand) {
+    const double c = clocks[static_cast<std::size_t>(cand)];
+    if (c > best_clock || (c == best_clock && cand < best && best != rank)) {
+      best = cand;
+      best_clock = c;
+    }
+  };
+  if (trace != nullptr) {
+    const auto& p2p = trace->p2p();
+    for (std::size_t i = prev.p2p_end; i < cur.p2p_end && i < p2p.size(); ++i) {
+      if (p2p[i].dst == rank) consider(p2p[i].src);
+    }
+    const auto& colls = trace->collectives();
+    for (std::size_t i = prev.coll_end; i < cur.coll_end && i < colls.size(); ++i) {
+      const auto& m = colls[i].members;
+      if (std::find(m.begin(), m.end(), rank) == m.end()) continue;
+      for (int r : m) consider(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const SpanTimeline& timeline,
+                                         const vmpi::TraceRecorder* trace) {
+  CriticalPathReport report;
+  const auto& samples = timeline.samples();
+  if (samples.size() < 2) return report;
+  const int p = timeline.ranks();
+  CANB_REQUIRE(p > 0, "critical-path analysis needs at least one rank");
+  report.rank_path_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  report.slack.assign(static_cast<std::size_t>(p), 0.0);
+
+  const auto& last = samples.back().clocks;
+  CANB_REQUIRE(static_cast<int>(last.size()) == p, "span samples disagree on rank count");
+  int cur = 0;
+  for (int r = 1; r < p; ++r) {
+    if (last[static_cast<std::size_t>(r)] > last[static_cast<std::size_t>(cur)]) cur = r;
+  }
+  report.end_rank = cur;
+  const double makespan = last[static_cast<std::size_t>(cur)];
+  for (int r = 0; r < p; ++r) {
+    report.slack[static_cast<std::size_t>(r)] = makespan - last[static_cast<std::size_t>(r)];
+  }
+
+  // Backward walk: the span ending at sample i ran on `cur`; its start is
+  // the binding predecessor's clock at sample i-1, and that predecessor is
+  // the rank the walk continues on. Telescoping makes the durations sum to
+  // makespan - clocks_0[chain start] exactly.
+  std::vector<PathSegment> chain;
+  for (std::size_t i = samples.size() - 1; i >= 1; --i) {
+    const auto& cur_sample = samples[i];
+    const auto& prev_sample = samples[i - 1];
+    CANB_REQUIRE(static_cast<int>(cur_sample.clocks.size()) == p &&
+                     static_cast<int>(prev_sample.clocks.size()) == p,
+                 "span samples disagree on rank count");
+    const int pred = binding_predecessor(prev_sample, cur_sample, cur, trace);
+    PathSegment seg;
+    seg.rank = cur;
+    seg.phase = cur_sample.phase;
+    seg.label = cur_sample.label;
+    seg.step = cur_sample.step;
+    seg.start = prev_sample.clocks[static_cast<std::size_t>(pred)];
+    seg.end = cur_sample.clocks[static_cast<std::size_t>(cur)];
+    const double d = seg.duration();
+    report.phase_seconds[static_cast<int>(seg.phase)] += d;
+    report.rank_path_seconds[static_cast<std::size_t>(cur)] += d;
+    if (d > 0.0) chain.push_back(std::move(seg));
+    cur = pred;
+  }
+  report.total = makespan - samples.front().clocks[static_cast<std::size_t>(cur)];
+  std::reverse(chain.begin(), chain.end());
+  report.segments = std::move(chain);
+  return report;
+}
+
+std::string format_critical_path(const CriticalPathReport& report) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(6);
+  out << "critical path: " << report.total << " s ending on rank " << report.end_rank << "\n";
+  out << "  per-phase split:";
+  for (int ph = 0; ph < vmpi::kPhaseCount; ++ph) {
+    const double s = report.phase_seconds[ph];
+    if (s <= 0.0) continue;
+    out << " " << vmpi::phase_name(static_cast<vmpi::Phase>(ph)) << "=" << s;
+  }
+  out << "\n";
+  out << "  dominant rank: " << report.dominant_rank() << " ("
+      << (report.dominant_rank() >= 0
+              ? report.rank_path_seconds[static_cast<std::size_t>(report.dominant_rank())]
+              : 0.0)
+      << " s on path), mean slack " << report.mean_slack() << " s\n";
+  out << "  chain (" << report.segments.size() << " segments):\n";
+  for (const auto& seg : report.segments) {
+    out << "    [" << seg.start << ", " << seg.end << "] rank " << seg.rank << " "
+        << vmpi::phase_name(seg.phase);
+    if (!seg.label.empty()) out << "/" << seg.label;
+    if (seg.step >= 0) out << " step " << seg.step;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace canb::obs

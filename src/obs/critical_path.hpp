@@ -1,0 +1,79 @@
+// Critical-path recovery from span samples plus the communication trace.
+//
+// The ledger already answers "which rank finished last and what did it
+// spend time on" — but that rank's own breakdown is not the dependency
+// chain. A rank can finish last because it *waited* on a straggler's
+// shift message; the seconds it burned waiting are charged to its shift
+// phase, while the actual critical work happened on the sender. The
+// analyzer walks backwards from the last-finishing rank, and at every
+// phase boundary asks: which rank's clock did this span's start time bind
+// to?  Candidates come from the trace — the p2p senders into the current
+// rank and the member sets of collectives it joined during the span —
+// plus the rank itself. The binding predecessor is the candidate with the
+// largest clock at the previous boundary, because max() over exactly
+// those clocks is how VirtualComm computed the span's start.
+//
+// The recovered segments tile [first boundary, last finish] gaplessly by
+// construction: segment i ends at clocks_i[rank] and starts at
+// clocks_{i-1}[pred], and pred becomes the walked rank for segment i-1.
+// Hence sum(duration) == max_clock exactly (up to float association),
+// which the tests pin to 1e-9.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "vmpi/cost_ledger.hpp"
+#include "vmpi/trace.hpp"
+
+namespace canb::obs {
+
+/// One span of the recovered dependency chain: `rank` held the critical
+/// path from `start` to `end` (virtual seconds) while the schedule ran
+/// `phase`. Zero-length spans (boundary crossed without waiting) are
+/// elided from the segment list but still tile the total.
+struct PathSegment {
+  int rank = -1;
+  vmpi::Phase phase = vmpi::Phase::Other;
+  std::string label;
+  int step = -1;
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const noexcept { return end - start; }
+};
+
+struct CriticalPathReport {
+  /// Chain in time order (earliest first).
+  std::vector<PathSegment> segments;
+  /// Seconds of critical path spent per phase; sums to `total`.
+  std::array<double, vmpi::kPhaseCount> phase_seconds{};
+  /// Seconds each rank spent holding the critical path; sums to `total`.
+  std::vector<double> rank_path_seconds;
+  /// Per-rank slack: how long before the end of the run each rank's final
+  /// clock stopped (0 for the last-finishing rank).
+  std::vector<double> slack;
+  int end_rank = -1;  ///< rank whose clock defines the makespan
+  double total = 0.0; ///< makespan covered by the chain (max final clock)
+
+  /// Rank holding the critical path longest — the straggler under fault
+  /// injection, or simply the busiest rank in a balanced run.
+  int dominant_rank() const noexcept;
+  double mean_slack() const noexcept;
+};
+
+/// Walks the chain backwards from the last-finishing rank. `trace` supplies
+/// the dependency candidates; with a null trace every span binds to the
+/// walked rank itself (pure per-rank attribution, still tiles exactly).
+/// Requires at least two samples (a baseline plus one boundary); returns an
+/// empty report otherwise.
+CriticalPathReport analyze_critical_path(const SpanTimeline& timeline,
+                                         const vmpi::TraceRecorder* trace);
+
+/// Human-readable summary (per-phase split, dominant rank, slack stats,
+/// then the chain itself) for CLI output.
+std::string format_critical_path(const CriticalPathReport& report);
+
+}  // namespace canb::obs

@@ -1,0 +1,428 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace canb::obs {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+// --- JsonWriter ------------------------------------------------------------
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!comma_.empty()) {
+    if (comma_.back()) out_ << ",";
+    comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ << "{";
+  comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CANB_ASSERT(!comma_.empty());
+  comma_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ << "[";
+  comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CANB_ASSERT(!comma_.empty());
+  comma_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  CANB_ASSERT_MSG(!after_key_, "two keys in a row");
+  pre_value();
+  out_ << "\"" << escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ << "\"" << escape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  // JSON has no Infinity/NaN; clamp to null (only the +Inf histogram edge
+  // could hit this, and exporters skip it).
+  if (std::isfinite(v)) {
+    out_ << format_double(v);
+  } else {
+    out_ << "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+// --- metrics JSON ----------------------------------------------------------
+
+void write_manifest(JsonWriter& w, const RunManifest& manifest) {
+  w.key("manifest").begin_object();
+  w.kv("tool", manifest.tool);
+  w.kv("machine", manifest.machine);
+  w.key("config").begin_object();
+  for (const auto& kv : manifest.config) w.kv(kv.first, kv.second);
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void write_series(JsonWriter& w, const Family& family, const Series& series) {
+  w.begin_object();
+  w.key("labels").begin_object();
+  for (const auto& kv : series.labels) w.kv(kv.first, kv.second);
+  w.end_object();
+  switch (family.type) {
+    case MetricType::Counter:
+      w.kv("value", std::get<Counter>(series.metric).value());
+      break;
+    case MetricType::Gauge:
+      w.kv("value", std::get<Gauge>(series.metric).value());
+      break;
+    case MetricType::Histogram: {
+      const auto& h = std::get<Histogram>(series.metric);
+      w.key("edges").begin_array();
+      for (double e : h.edges()) w.value(e);
+      w.end_array();
+      w.key("counts").begin_array();
+      for (std::uint64_t c : h.counts()) w.value(c);
+      w.end_array();
+      w.kv("count", h.count());
+      w.kv("sum", h.sum());
+      break;
+    }
+  }
+  w.end_object();
+}
+
+void write_critical_path(JsonWriter& w, const CriticalPathReport& cp) {
+  w.key("critical_path").begin_object();
+  w.kv("total_seconds", cp.total);
+  w.kv("end_rank", cp.end_rank);
+  w.kv("dominant_rank", cp.dominant_rank());
+  w.kv("mean_slack_seconds", cp.mean_slack());
+  w.key("phase_seconds").begin_object();
+  for (int ph = 0; ph < vmpi::kPhaseCount; ++ph) {
+    w.kv(vmpi::phase_name(static_cast<vmpi::Phase>(ph)), cp.phase_seconds[ph]);
+  }
+  w.end_object();
+  w.key("rank_path_seconds").begin_array();
+  for (double s : cp.rank_path_seconds) w.value(s);
+  w.end_array();
+  w.key("slack_seconds").begin_array();
+  for (double s : cp.slack) w.value(s);
+  w.end_array();
+  w.key("segments").begin_array();
+  for (const auto& seg : cp.segments) {
+    w.begin_object();
+    w.kv("rank", seg.rank);
+    w.kv("phase", vmpi::phase_name(seg.phase));
+    w.kv("label", seg.label);
+    w.kv("step", seg.step);
+    w.kv("start", seg.start);
+    w.kv("end", seg.end);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry,
+                        const RunManifest& manifest, const CriticalPathReport* critical_path) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema_version", kObsSchemaVersion);
+  w.kv("kind", "metrics");
+  write_manifest(w, manifest);
+  w.key("metrics").begin_array();
+  for (const auto& [name, family] : registry.families()) {
+    w.begin_object();
+    w.kv("name", name);
+    w.kv("type", type_name(family.type));
+    if (!family.help.empty()) w.kv("help", family.help);
+    w.key("series").begin_array();
+    for (const auto& [key, series] : family.series) write_series(w, family, series);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  if (critical_path != nullptr) write_critical_path(w, *critical_path);
+  w.end_object();
+  out << "\n";
+}
+
+// --- Prometheus text -------------------------------------------------------
+
+namespace {
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = {},
+                        const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += kv.first + "=\"" + kv.second + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, family] : registry.families()) {
+    if (!family.help.empty()) out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + type_name(family.type) + "\n";
+    for (const auto& [key, series] : family.series) {
+      switch (family.type) {
+        case MetricType::Counter:
+          out += name + prom_labels(series.labels) + " " +
+                 std::to_string(std::get<Counter>(series.metric).value()) + "\n";
+          break;
+        case MetricType::Gauge:
+          out += name + prom_labels(series.labels) + " " +
+                 format_double(std::get<Gauge>(series.metric).value(), 9) + "\n";
+          break;
+        case MetricType::Histogram: {
+          const auto& h = std::get<Histogram>(series.metric);
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < h.edges().size(); ++b) {
+            cumulative += h.counts()[b];
+            out += name + "_bucket" +
+                   prom_labels(series.labels, "le", format_double(h.edges()[b], 9)) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          cumulative += h.counts().back();
+          out += name + "_bucket" + prom_labels(series.labels, "le", "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + prom_labels(series.labels) + " " + format_double(h.sum(), 9) +
+                 "\n";
+          out += name + "_count" + prom_labels(series.labels) + " " + std::to_string(h.count()) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// --- span CSV --------------------------------------------------------------
+
+void write_span_csv(std::ostream& out, const SpanTimeline& timeline) {
+  out << "sample,step,label,phase,rank,clock_seconds\n";
+  const auto& samples = timeline.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    for (std::size_t r = 0; r < s.clocks.size(); ++r) {
+      out << i << "," << s.step << "," << s.label << "," << vmpi::phase_name(s.phase) << "," << r
+          << "," << format_double(s.clocks[r]) << "\n";
+    }
+  }
+}
+
+// --- Chrome trace ----------------------------------------------------------
+
+void write_chrome_trace(std::ostream& out, const SpanTimeline& timeline,
+                        const vmpi::TraceRecorder* trace, const RunManifest* manifest,
+                        double time_scale_us) {
+  const auto& samples = timeline.samples();
+  CANB_REQUIRE(!samples.empty(), "span timeline is empty; run with full observability");
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  const std::size_t ranks = samples.front().clocks.size();
+  for (std::size_t r = 0; r < ranks; ++r) {
+    // Named rank tracks so Perfetto shows "rank 3" instead of "tid 3".
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::uint64_t>(r));
+    w.key("args").begin_object();
+    w.kv("name", "rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const double prev = samples[i - 1].clocks[r];
+      const double now = samples[i].clocks[r];
+      if (now <= prev) continue;
+      w.begin_object();
+      w.kv("name", samples[i].label.empty() ? std::string(vmpi::phase_name(samples[i].phase))
+                                            : samples[i].label);
+      w.kv("cat", vmpi::phase_name(samples[i].phase));
+      w.kv("ph", "X");
+      w.kv("pid", 0);
+      w.kv("tid", static_cast<std::uint64_t>(r));
+      w.kv("ts", prev * time_scale_us);
+      w.kv("dur", (now - prev) * time_scale_us);
+      w.key("args").begin_object();
+      w.kv("step", samples[i].step);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  if (trace != nullptr) {
+    // Message markers on the receiver's track, placed at the end of the
+    // span that recorded them (event indices locate the enclosing span).
+    const auto& p2p = trace->p2p();
+    std::size_t span = 1;
+    for (std::size_t i = 0; i < p2p.size(); ++i) {
+      while (span < samples.size() && samples[span].p2p_end <= i) ++span;
+      if (span >= samples.size()) break;
+      const auto& e = p2p[i];
+      w.begin_object();
+      w.kv("name",
+           "msg r" + std::to_string(e.src) + "->r" + std::to_string(e.dst) + " " +
+               std::to_string(e.bytes) + "B" +
+               (e.retries > 0 ? " retries=" + std::to_string(e.retries) : ""));
+      w.kv("cat", vmpi::phase_name(e.phase));
+      w.kv("ph", "i");
+      w.kv("s", "t");
+      w.kv("pid", 0);
+      w.kv("tid", static_cast<std::uint64_t>(e.dst));
+      w.kv("ts", samples[span].clocks[static_cast<std::size_t>(e.dst)] * time_scale_us);
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  if (manifest != nullptr) {
+    w.key("otherData").begin_object();
+    w.kv("tool", manifest->tool);
+    w.kv("machine", manifest->machine);
+    for (const auto& kv : manifest->config) w.kv(kv.first, kv.second);
+    w.end_object();
+  }
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  out << "\n";
+}
+
+// --- BenchJsonWriter -------------------------------------------------------
+
+BenchJsonWriter::BenchJsonWriter(const std::string& path, const std::string& bench,
+                                 const std::string& unit, const RunManifest& manifest)
+    : file_(path), w_(file_), path_(path) {
+  CANB_REQUIRE(file_.good(), "cannot open bench output file: " + path);
+  w_.begin_object();
+  w_.kv("schema_version", kObsSchemaVersion);
+  w_.kv("kind", "bench");
+  w_.kv("bench", bench);
+  w_.kv("unit", unit);
+  write_manifest(w_, manifest);
+  w_.key("rows").begin_array();
+}
+
+BenchJsonWriter::~BenchJsonWriter() { close(); }
+
+void BenchJsonWriter::row(const std::function<void(JsonWriter&)>& fill) {
+  CANB_REQUIRE(!closed_, "row() after close(): " + path_);
+  w_.begin_object();
+  fill(w_);
+  w_.end_object();
+}
+
+void BenchJsonWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  w_.end_array();
+  w_.end_object();
+  file_ << "\n";
+  CANB_REQUIRE(file_.good(), "bench JSON write failed: " + path_);
+  file_.close();
+}
+
+}  // namespace canb::obs

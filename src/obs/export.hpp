@@ -1,0 +1,129 @@
+// Exporters: one run, four artifact formats, one provenance manifest.
+//
+//  * write_metrics_json  — versioned-schema JSON: manifest + every metric
+//    family/series + (optionally) the critical-path report. The schema
+//    version bumps whenever a field changes meaning; consumers
+//    (scripts/plot_figures.py) branch on it.
+//  * to_prometheus       — Prometheus text exposition format, suitable for
+//    a textfile-collector drop or diffing in golden tests.
+//  * write_span_csv      — per-rank clock time series, one row per
+//    (sample, rank), for spreadsheet-grade analysis.
+//  * write_chrome_trace  — chrome://tracing / Perfetto JSON: one track per
+//    rank, one duration event per span, message markers, manifest in
+//    otherData. Replaces the old sim::export_chrome_trace.
+//  * BenchJsonWriter     — the shared writer behind every BENCH_*.json
+//    emission: schema_version + manifest header, then caller-shaped rows.
+//
+// All exporters format doubles with fixed precision through one helper,
+// so outputs are deterministic and golden-testable.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "vmpi/trace.hpp"
+
+namespace canb::obs {
+
+/// Version of the JSON schemas written by this file (metrics and bench).
+/// v1 is the pre-obs hand-rolled bench JSON (no manifest, no version key).
+inline constexpr int kObsSchemaVersion = 2;
+
+/// Shortest-round-trip-ish deterministic double formatting (%.12g); used
+/// by every exporter so artifacts are reproducible across runs.
+std::string format_double(double v, int precision = 12);
+
+/// Minimal streaming JSON writer: explicit begin/end calls, automatic
+/// comma placement, string escaping. No DOM — exports stream straight to
+/// the output.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Emits `"name":` — must be followed by a value or begin_*.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void pre_value();
+
+  std::ostream& out_;
+  std::vector<bool> comma_;  ///< per-open-container: "next item needs a comma"
+  bool after_key_ = false;
+};
+
+/// Serializes the manifest as the current JSON object's "manifest" member.
+void write_manifest(JsonWriter& w, const RunManifest& manifest);
+
+/// Full metrics dump: {"schema_version":2, "kind":"metrics", "manifest":...,
+/// "metrics":[...], "critical_path":{...}?}.
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry,
+                        const RunManifest& manifest,
+                        const CriticalPathReport* critical_path = nullptr);
+
+/// Prometheus text exposition format (# HELP / # TYPE, histogram
+/// _bucket{le=...} cumulative counts, _sum, _count).
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// CSV time series: sample,step,label,phase,rank,clock_seconds.
+void write_span_csv(std::ostream& out, const SpanTimeline& timeline);
+
+/// Chrome trace-event JSON from span samples. Each rank is a thread; the
+/// interval between consecutive samples becomes a duration event named by
+/// the later sample's label (category = phase). P2p messages become
+/// instant events on the receiver's track at the enclosing span's end
+/// time. The manifest, when given, lands in otherData.
+void write_chrome_trace(std::ostream& out, const SpanTimeline& timeline,
+                        const vmpi::TraceRecorder* trace = nullptr,
+                        const RunManifest* manifest = nullptr, double time_scale_us = 1e6);
+
+/// Shared writer for bench result files. Usage:
+///   BenchJsonWriter out("BENCH_foo.json", "foo", "seconds", manifest);
+///   out.row([&](JsonWriter& w) { w.kv("n", n).kv("t", t); });
+/// The file is finalized (rows closed, footer written) on close()/destruction.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(const std::string& path, const std::string& bench, const std::string& unit,
+                  const RunManifest& manifest);
+  ~BenchJsonWriter();
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  /// Appends one result row; `fill` writes the row object's members.
+  void row(const std::function<void(JsonWriter&)>& fill);
+  void close();
+
+ private:
+  std::ofstream file_;
+  JsonWriter w_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+}  // namespace canb::obs

@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace canb::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  CANB_REQUIRE(!edges_.empty(), "histogram needs at least one bucket edge");
+  CANB_REQUIRE(std::is_sorted(edges_.begin(), edges_.end()),
+               "histogram bucket edges must be ascending");
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose inclusive upper bound holds v; +Inf bucket otherwise.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+std::string MetricsRegistry::label_string(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Series& MetricsRegistry::find_or_create(const std::string& name, MetricType type,
+                                        const Labels& labels, const std::string& help) {
+  auto& family = families_[name];
+  if (family.name.empty()) {
+    family.name = name;
+    family.help = help;
+    family.type = type;
+  } else {
+    CANB_REQUIRE(family.type == type, "metric family re-registered with a different type: " + name);
+  }
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const auto key = label_string(sorted);
+  auto it = family.series.find(key);
+  if (it == family.series.end()) {
+    it = family.series.emplace(key, Series{std::move(sorted), Counter{}}).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  auto& s = find_or_create(name, MetricType::Counter, labels, help);
+  return std::get<Counter>(s.metric);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  auto& s = find_or_create(name, MetricType::Gauge, labels, help);
+  if (!std::holds_alternative<Gauge>(s.metric)) s.metric = Gauge{};
+  return std::get<Gauge>(s.metric);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> edges,
+                                      const Labels& labels, const std::string& help) {
+  auto& s = find_or_create(name, MetricType::Histogram, labels, help);
+  if (!std::holds_alternative<Histogram>(s.metric)) s.metric = Histogram(std::move(edges));
+  return std::get<Histogram>(s.metric);
+}
+
+}  // namespace canb::obs

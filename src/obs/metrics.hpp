@@ -1,0 +1,110 @@
+// MetricsRegistry: counters, gauges, and fixed-bucket histograms with
+// Prometheus-style labels.
+//
+// A metric *family* is a (name, type, help) triple; a *series* is one
+// family member identified by its label set — e.g. the family
+// canb_message_bytes holds one histogram series per phase. Families and
+// series are created on first touch and live for the registry's lifetime,
+// so hot paths hold raw Counter*/Histogram* pointers and pay one pointer
+// chase per event; the map lookups happen only at registration time.
+//
+// The registry is observation-only state: nothing in the simulation reads
+// it back, which is what lets telemetry guarantee bitwise inertness.
+// Iteration order (families by name, series by canonical label string) is
+// deterministic, so exporter output is reproducible and golden-testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace canb::obs {
+
+/// Label set of one series, e.g. {{"phase", "shift"}}. Keys are sorted at
+/// registration so the same set always names the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. `edges` are ascending inclusive upper bounds
+/// (Prometheus `le` semantics); an implicit +Inf bucket catches overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& edges() const noexcept { return edges_; }
+  /// Per-bucket counts; size edges().size() + 1, last entry is the +Inf bucket.
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+struct Series {
+  Labels labels;  ///< sorted by key
+  std::variant<Counter, Gauge, Histogram> metric;
+};
+
+struct Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Counter;
+  /// Keyed by the canonical label string (deterministic exporter order).
+  std::map<std::string, Series> series;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the series, creating family and series on first touch.
+  /// Re-registering an existing family with a different type throws.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {}, const std::string& help = {});
+  /// `edges` applies on first creation of the series; an existing series
+  /// keeps its original buckets (a family's series share edge semantics by
+  /// convention, not enforcement).
+  Histogram& histogram(const std::string& name, std::vector<double> edges,
+                       const Labels& labels = {}, const std::string& help = {});
+
+  const std::map<std::string, Family>& families() const noexcept { return families_; }
+  bool empty() const noexcept { return families_.empty(); }
+
+  /// Canonical `{k="v",...}` form of a label set ("" when empty).
+  static std::string label_string(const Labels& labels);
+
+ private:
+  Series& find_or_create(const std::string& name, MetricType type, const Labels& labels,
+                         const std::string& help);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace canb::obs

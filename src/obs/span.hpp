@@ -1,0 +1,48 @@
+// Span-based structured tracing: per-rank clock samples at phase boundaries.
+//
+// A SpanSample is one boundary of the engine schedule — "the broadcast of
+// step 3 just finished" — carrying every rank's virtual clock plus the
+// number of trace events recorded so far. Two consecutive samples delimit
+// one *span* per rank: the colored segment Chrome-trace export draws, and
+// the unit the critical-path analyzer walks. Engines publish boundaries
+// automatically through obs::Telemetry (replacing the old manual
+// sim::ClockSampler), so any run with full observability can be exported
+// and attributed without bench-side plumbing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vmpi/cost_ledger.hpp"
+
+namespace canb::obs {
+
+struct SpanSample {
+  std::string label;                       ///< schedule point, e.g. "shift"
+  vmpi::Phase phase = vmpi::Phase::Other;  ///< phase the span *ending here* ran in
+  int step = -1;                           ///< engine timestep index (-1: baseline)
+  std::size_t p2p_end = 0;   ///< trace p2p events recorded up to this boundary
+  std::size_t coll_end = 0;  ///< trace collective events recorded up to this boundary
+  std::vector<double> clocks;  ///< per-rank virtual clock at the boundary (s)
+};
+
+class SpanTimeline {
+ public:
+  void add(SpanSample s) { samples_.push_back(std::move(s)); }
+  void clear() { samples_.clear(); }
+
+  const std::vector<SpanSample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Number of ranks in the sampled run (0 when empty).
+  int ranks() const noexcept {
+    return samples_.empty() ? 0 : static_cast<int>(samples_.front().clocks.size());
+  }
+
+ private:
+  std::vector<SpanSample> samples_;
+};
+
+}  // namespace canb::obs

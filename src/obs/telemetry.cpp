@@ -1,0 +1,147 @@
+#include "obs/telemetry.hpp"
+
+#include "support/assert.hpp"
+
+namespace canb::obs {
+
+const char* obs_level_name(ObsLevel level) noexcept {
+  switch (level) {
+    case ObsLevel::Off: return "off";
+    case ObsLevel::Metrics: return "metrics";
+    case ObsLevel::Full: return "full";
+  }
+  return "unknown";
+}
+
+std::optional<ObsLevel> parse_obs_level(std::string_view text) {
+  if (text == "off") return ObsLevel::Off;
+  if (text == "metrics") return ObsLevel::Metrics;
+  if (text == "full") return ObsLevel::Full;
+  return std::nullopt;
+}
+
+Telemetry::Telemetry(ObsLevel level) : level_(level) {}
+
+void Telemetry::attach(vmpi::VirtualComm& vc) {
+  if (!enabled()) return;
+  vc.set_observer(this);
+  if (spans_enabled()) {
+    if (vc.trace() != nullptr) {
+      trace_view_ = vc.trace();
+    } else {
+      vc.set_trace(&owned_trace_);
+      trace_view_ = &owned_trace_;
+    }
+  }
+  const auto p = static_cast<std::size_t>(vc.size());
+  rank_compute_.assign(p, 0.0);
+  rank_wait_.assign(p, 0.0);
+  steps_ = &registry_.counter("canb_steps_total", {}, "timesteps executed");
+}
+
+Telemetry::PhaseSeries& Telemetry::series_for(vmpi::Phase phase) {
+  auto& slot = phase_series_[static_cast<std::size_t>(phase)];
+  if (!slot.has_value()) {
+    const Labels labels{{"phase", vmpi::phase_name(phase)}};
+    PhaseSeries s;
+    s.messages = &registry_.counter("canb_messages_total", labels,
+                                    "point-to-point messages delivered");
+    s.bytes_total = &registry_.counter("canb_bytes_total", labels,
+                                       "payload bytes moved point-to-point");
+    s.retries = &registry_.counter("canb_retries_total", labels,
+                                   "fault-injected message retransmissions");
+    s.timeouts = &registry_.counter("canb_timeouts_total", labels,
+                                    "fault-injected timeout expirations");
+    s.message_bytes = &registry_.histogram(
+        "canb_message_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}, labels,
+        "per-message payload size distribution (bytes)");
+    s.wait_seconds = &registry_.histogram(
+        "canb_wait_seconds", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}, labels,
+        "receiver wait-for-sender time distribution (virtual seconds)");
+    s.bcasts = &registry_.counter("canb_collectives_total",
+                                  {{"phase", vmpi::phase_name(phase)}, {"op", "bcast"}},
+                                  "tree collectives executed");
+    s.reduces = &registry_.counter("canb_collectives_total",
+                                   {{"phase", vmpi::phase_name(phase)}, {"op", "reduce"}},
+                                   "tree collectives executed");
+    slot = s;
+  }
+  return *slot;
+}
+
+void Telemetry::begin_step(const vmpi::VirtualComm& vc) {
+  ++step_;
+  if (steps_ != nullptr) steps_->inc();
+  if (spans_enabled() && timeline_.empty()) {
+    // Baseline sample: the chain's anchor at the run's starting clocks.
+    SpanSample s;
+    s.label = "start";
+    s.step = -1;
+    if (trace_view_ != nullptr) {
+      s.p2p_end = trace_view_->p2p().size();
+      s.coll_end = trace_view_->collectives().size();
+    }
+    s.clocks.reserve(static_cast<std::size_t>(vc.size()));
+    for (int r = 0; r < vc.size(); ++r) s.clocks.push_back(vc.clock(r));
+    timeline_.add(std::move(s));
+  }
+}
+
+void Telemetry::phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase,
+                               std::string label) {
+  if (!spans_enabled()) return;
+  SpanSample s;
+  s.label = std::move(label);
+  s.phase = phase;
+  s.step = step_;
+  if (trace_view_ != nullptr) {
+    s.p2p_end = trace_view_->p2p().size();
+    s.coll_end = trace_view_->collectives().size();
+  }
+  s.clocks.reserve(static_cast<std::size_t>(vc.size()));
+  for (int r = 0; r < vc.size(); ++r) s.clocks.push_back(vc.clock(r));
+  timeline_.add(std::move(s));
+}
+
+void Telemetry::finalize(const vmpi::VirtualComm& vc) {
+  if (!enabled()) return;
+  for (int r = 0; r < vc.size(); ++r) {
+    const Labels labels{{"rank", std::to_string(r)}};
+    registry_
+        .gauge("canb_rank_compute_seconds", labels, "virtual compute seconds accumulated")
+        .set(rank_compute_[static_cast<std::size_t>(r)]);
+    registry_.gauge("canb_rank_wait_seconds", labels, "virtual seconds spent waiting on senders")
+        .set(rank_wait_[static_cast<std::size_t>(r)]);
+    registry_.gauge("canb_rank_clock_seconds", labels, "final virtual clock")
+        .set(vc.clock(r));
+  }
+}
+
+void Telemetry::on_p2p(vmpi::Phase phase, int /*src*/, int dst, std::uint64_t bytes,
+                       double wait_seconds, double /*cost_seconds*/, std::uint64_t retries,
+                       std::uint64_t timeouts) {
+  auto& s = series_for(phase);
+  s.messages->inc();
+  s.bytes_total->inc(bytes);
+  if (retries > 0) s.retries->inc(retries);
+  if (timeouts > 0) s.timeouts->inc(timeouts);
+  s.message_bytes->observe(static_cast<double>(bytes));
+  if (wait_seconds > 0.0) {
+    s.wait_seconds->observe(wait_seconds);
+    rank_wait_[static_cast<std::size_t>(dst)] += wait_seconds;
+  }
+}
+
+void Telemetry::on_collective(vmpi::Phase phase, bool is_reduce, int /*members*/,
+                              std::uint64_t bytes, double /*seconds*/) {
+  auto& s = series_for(phase);
+  (is_reduce ? s.reduces : s.bcasts)->inc();
+  s.bytes_total->inc(bytes);
+}
+
+void Telemetry::on_compute(int rank, double seconds) {
+  // Pool threads hit distinct ranks only; the registry is not touched here.
+  rank_compute_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+}  // namespace canb::obs

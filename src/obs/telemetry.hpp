@@ -1,0 +1,114 @@
+// Telemetry: the one object engines and the Simulation talk to.
+//
+// It implements vmpi::CommObserver (metrics publication from inside
+// VirtualComm), owns the TraceRecorder and SpanTimeline needed for
+// Chrome-trace export and critical-path analysis, and exposes the
+// MetricsRegistry the exporters serialize. Observation is strictly
+// passive: attaching a Telemetry changes no clock, ledger entry, or
+// physics result — runs are bitwise identical with and without it
+// (property-tested).
+//
+// Levels:
+//   Off     — nothing attached; engines skip every hook (zero cost).
+//   Metrics — counters/histograms only; no trace, no spans.
+//   Full    — metrics + message trace + span samples at phase boundaries
+//             (engines also give up the bulk uniform-schedule fast path so
+//             every message is observable; ledgers are identical either
+//             way, which the bulk-equivalence tests already pin).
+//
+// Threading: on_compute may fire concurrently from host-pool workers, but
+// only for distinct ranks (mirroring ledger rows); it therefore writes a
+// per-rank accumulator and never touches the registry. on_p2p and
+// on_collective fire from the serial schedule walk. finalize() folds the
+// per-rank accumulators into gauges once the run is done.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "vmpi/observer.hpp"
+#include "vmpi/trace.hpp"
+#include "vmpi/virtual_comm.hpp"
+
+namespace canb::obs {
+
+enum class ObsLevel { Off, Metrics, Full };
+
+const char* obs_level_name(ObsLevel level) noexcept;
+/// Parses "off" / "metrics" / "full"; nullopt on anything else.
+std::optional<ObsLevel> parse_obs_level(std::string_view text);
+
+class Telemetry final : public vmpi::CommObserver {
+ public:
+  explicit Telemetry(ObsLevel level);
+
+  ObsLevel level() const noexcept { return level_; }
+  bool enabled() const noexcept { return level_ != ObsLevel::Off; }
+  bool spans_enabled() const noexcept { return level_ == ObsLevel::Full; }
+
+  /// Hooks this telemetry into `vc`: registers as its observer and, at
+  /// Full level, attaches the owned TraceRecorder (an externally attached
+  /// recorder is left in place and read instead). Sizes per-rank state.
+  void attach(vmpi::VirtualComm& vc);
+
+  /// Engines call this at the top of every timestep. Records the baseline
+  /// span sample on the first call.
+  void begin_step(const vmpi::VirtualComm& vc);
+
+  /// Engines call this after each schedule phase completes; at Full level
+  /// it samples all rank clocks plus the trace position. `label` names the
+  /// schedule point (e.g. "shift", "reduce").
+  void phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase, std::string label);
+
+  /// Folds per-rank accumulators (compute seconds, wait seconds, final
+  /// clocks) into registry gauges. Call once after the run.
+  void finalize(const vmpi::VirtualComm& vc);
+
+  MetricsRegistry& metrics() noexcept { return registry_; }
+  const MetricsRegistry& metrics() const noexcept { return registry_; }
+  const SpanTimeline& spans() const noexcept { return timeline_; }
+  /// The trace this telemetry reads (owned or external); null below Full.
+  const vmpi::TraceRecorder* trace() const noexcept { return trace_view_; }
+
+  // --- vmpi::CommObserver -------------------------------------------------
+  void on_p2p(vmpi::Phase phase, int src, int dst, std::uint64_t bytes, double wait_seconds,
+              double cost_seconds, std::uint64_t retries, std::uint64_t timeouts) override;
+  void on_collective(vmpi::Phase phase, bool is_reduce, int members, std::uint64_t bytes,
+                     double seconds) override;
+  void on_compute(int rank, double seconds) override;
+
+ private:
+  struct PhaseSeries {
+    Counter* messages = nullptr;
+    Counter* bytes_total = nullptr;
+    Counter* retries = nullptr;
+    Counter* timeouts = nullptr;
+    Histogram* message_bytes = nullptr;
+    Histogram* wait_seconds = nullptr;
+    Counter* bcasts = nullptr;
+    Counter* reduces = nullptr;
+  };
+
+  PhaseSeries& series_for(vmpi::Phase phase);
+
+  ObsLevel level_;
+  MetricsRegistry registry_;
+  SpanTimeline timeline_;
+  vmpi::TraceRecorder owned_trace_;
+  const vmpi::TraceRecorder* trace_view_ = nullptr;
+  Counter* steps_ = nullptr;
+  /// Lazily created per-phase series (hot-path pointers, no map lookups).
+  std::array<std::optional<PhaseSeries>, vmpi::kPhaseCount> phase_series_;
+  // Per-rank accumulators; disjoint writes from pool threads are safe.
+  std::vector<double> rank_compute_;
+  std::vector<double> rank_wait_;
+  int step_ = -1;
+};
+
+}  // namespace canb::obs

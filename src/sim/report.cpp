@@ -39,6 +39,15 @@ RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, i
   return rep;
 }
 
+void annotate_critical_path(RunReport& report, const obs::CriticalPathReport& cp) {
+  const int dom = cp.dominant_rank();
+  if (dom < 0) return;
+  const double inv = 1.0 / static_cast<double>(std::max(1, report.steps));
+  report.cp_rank = dom;
+  report.cp_seconds = cp.rank_path_seconds[static_cast<std::size_t>(dom)] * inv;
+  report.cp_slack = cp.mean_slack() * inv;
+}
+
 namespace {
 Table make_table(std::span<const RunReport> reports) {
   // Fault counters appear only when some report is degraded: fault-free
@@ -62,6 +71,15 @@ Table make_table(std::span<const RunReport> reports) {
     cols.push_back({"retry/step", 11, 1});
     cols.push_back({"tmout/step", 11, 1});
   }
+  // Same conditional-column pattern for critical-path attribution: only
+  // runs analyzed under full telemetry grow the extra columns.
+  const bool attributed =
+      std::any_of(reports.begin(), reports.end(), [](const auto& r) { return r.attributed(); });
+  if (attributed) {
+    cols.push_back({"cp-rank", 8});
+    cols.push_back({"cp(s)", 11, 5});
+    cols.push_back({"slack(s)", 11, 5});
+  }
   Table t(std::move(cols));
   for (const auto& r : reports) {
     std::vector<Cell> row{r.label, static_cast<long long>(r.p),
@@ -71,6 +89,11 @@ Table make_table(std::span<const RunReport> reports) {
     if (degraded) {
       row.push_back(r.retries);
       row.push_back(r.timeouts);
+    }
+    if (attributed) {
+      row.push_back(static_cast<long long>(r.cp_rank));
+      row.push_back(r.cp_seconds);
+      row.push_back(r.cp_slack);
     }
     t.add_row(std::move(row));
   }

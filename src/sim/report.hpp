@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "vmpi/virtual_comm.hpp"
 
 namespace canb::sim {
@@ -50,6 +51,16 @@ struct RunReport {
 
   bool degraded() const noexcept { return retries > 0.0 || timeouts > 0.0; }
 
+  // Critical-path attribution (obs::analyze_critical_path); populated only
+  // for runs that carried full telemetry. cp_rank < 0 means "not analyzed"
+  // and the columns are omitted, so obs-off tables keep their exact
+  // historical layout.
+  int cp_rank = -1;         ///< rank holding the recovered path the longest
+  double cp_seconds = 0.0;  ///< per-step seconds that rank holds the path
+  double cp_slack = 0.0;    ///< per-step mean slack across ranks
+
+  bool attributed() const noexcept { return cp_rank >= 0; }
+
   double total() const noexcept {
     return compute + broadcast + skew + shift + reduce + reassign + other;
   }
@@ -59,6 +70,10 @@ struct RunReport {
 /// Builds a per-step report from a VirtualComm whose ledger accumulated
 /// `steps` timesteps.
 RunReport summarize(const vmpi::VirtualComm& vc, int steps, std::string label, int c);
+
+/// Fills the report's cp_* columns from a recovered critical path (per-step
+/// normalization uses the report's own `steps`).
+void annotate_critical_path(RunReport& report, const obs::CriticalPathReport& cp);
 
 /// Prints reports as a fixed-width table mirroring the paper's stacked
 /// bars (one row per report).

@@ -17,6 +17,7 @@
 #include "decomp/force_decomposition.hpp"
 #include "decomp/partition.hpp"
 #include "decomp/particle_decomposition.hpp"
+#include "obs/telemetry.hpp"
 #include "particles/init.hpp"
 #include "sim/report.hpp"
 #include "support/assert.hpp"
@@ -60,6 +61,9 @@ class Simulation {
     /// a config with all rates zero is attached but inert (bitwise-identical
     /// clocks, ledgers, and trajectories — tested).
     std::optional<vmpi::FaultConfig> fault;
+    /// Observability level (obs/telemetry.hpp). Off by default; attaching
+    /// telemetry never changes clocks, ledgers, or trajectories (tested).
+    obs::ObsLevel obs = obs::ObsLevel::Off;
   };
 
   Simulation(Config cfg, particles::Block initial)
@@ -68,6 +72,20 @@ class Simulation {
     if (cfg_.fault) {
       fault_model_ = std::make_unique<vmpi::PerturbationModel>(*cfg_.fault, cfg_.p);
       comm().set_fault(fault_model_.get());
+    }
+    if (cfg_.obs != obs::ObsLevel::Off) {
+      telemetry_ = std::make_unique<obs::Telemetry>(cfg_.obs);
+      std::visit(
+          [&](auto& e) {
+            // CA engines take telemetry directly (span samples at phase
+            // boundaries); baselines get the metrics-only observer hookup.
+            if constexpr (requires { e.set_telemetry(telemetry_.get()); }) {
+              e.set_telemetry(telemetry_.get());
+            } else {
+              telemetry_->attach(e.comm());
+            }
+          },
+          engine_);
     }
   }
 
@@ -115,6 +133,19 @@ class Simulation {
 
   /// The attached fault model, or nullptr when fault injection is off.
   const vmpi::PerturbationModel* fault_model() const noexcept { return fault_model_.get(); }
+
+  /// The attached telemetry, or nullptr when observability is off.
+  obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+  const obs::Telemetry* telemetry() const noexcept { return telemetry_.get(); }
+
+  /// Folds per-rank telemetry accumulators into gauges and recovers the
+  /// critical path from the span timeline (empty report below Full level).
+  /// Call after the last step.
+  obs::CriticalPathReport finalize_telemetry() {
+    if (!telemetry_) return {};
+    telemetry_->finalize(comm());
+    return obs::analyze_critical_path(telemetry_->spans(), telemetry_->trace());
+  }
 
   /// Per-step report over every step taken so far.
   RunReport report(std::string label = {}) const {
@@ -235,6 +266,8 @@ class Simulation {
   /// Owned here (heap) so the pointer held by the engine's VirtualComm
   /// stays valid if the Simulation object itself is moved.
   std::unique_ptr<vmpi::PerturbationModel> fault_model_;
+  /// Heap-owned for the same move-stability reason as the fault model.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   int steps_ = 0;
 };
 

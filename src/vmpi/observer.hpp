@@ -1,0 +1,46 @@
+// CommObserver: the vmpi-side hook the telemetry layer implements.
+//
+// VirtualComm publishes every charged event (point-to-point rounds,
+// collectives, compute charges) to an attached observer. The interface is
+// defined here — not in src/obs — so vmpi stays free of an obs dependency
+// while obs::Telemetry can implement it; the layering is
+// support -> machine -> vmpi -> obs -> core/sim.
+//
+// Observation is strictly passive: hooks receive the costs the comm layer
+// already decided to charge and must not feed anything back. An attached
+// observer therefore never changes clocks, ledgers, or physics — runs with
+// and without one are bitwise identical (asserted by test_properties).
+//
+// Threading: on_p2p and on_collective fire from the serial schedule loops.
+// on_compute can fire concurrently from host worker threads, but only for
+// *distinct* ranks (engine force loops are sequential per rank), so
+// per-rank accumulator slots need no synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "vmpi/cost_ledger.hpp"
+
+namespace canb::vmpi {
+
+class CommObserver {
+ public:
+  virtual ~CommObserver() = default;
+
+  /// One point-to-point delivery charged to the receiver. `bytes` is the
+  /// payload (retransmissions excluded; `retries` counts them),
+  /// `wait_seconds` the receiver's idle wait for the sender, and
+  /// `cost_seconds` the transfer cost including fault penalties.
+  virtual void on_p2p(Phase phase, int src, int dst, std::uint64_t bytes, double wait_seconds,
+                      double cost_seconds, std::uint64_t retries, std::uint64_t timeouts) = 0;
+
+  /// One tree collective over `members` ranks costing `seconds` beyond the
+  /// members' synchronization point.
+  virtual void on_collective(Phase phase, bool is_reduce, int members, std::uint64_t bytes,
+                             double seconds) = 0;
+
+  /// One compute charge (pairwise-interaction or integration work) on `rank`.
+  virtual void on_compute(int rank, double seconds) = 0;
+};
+
+}  // namespace canb::vmpi

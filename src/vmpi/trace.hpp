@@ -23,8 +23,10 @@ struct P2pEvent {
   Phase phase = Phase::Other;
   int src = -1;
   int dst = -1;
-  std::uint64_t bytes = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes (retransmissions not included)
   int round = 0;  ///< synchronous round index (increments per permute step)
+  std::uint64_t retries = 0;   ///< fault-injected retransmissions of this delivery
+  std::uint64_t timeouts = 0;  ///< timeout expirations the receiver waited out
 };
 
 struct CollectiveEvent {
@@ -33,25 +35,36 @@ struct CollectiveEvent {
   std::vector<int> members;
   std::uint64_t bytes = 0;
   int round = 0;
+  int seq = 0;  ///< ordinal among collectives sharing this round (op ordering)
 };
 
 class TraceRecorder {
  public:
   void begin_round() noexcept { ++round_; }
 
-  void record_p2p(Phase phase, int src, int dst, std::uint64_t bytes) {
-    p2p_.push_back({phase, src, dst, bytes, round_});
+  void record_p2p(Phase phase, int src, int dst, std::uint64_t bytes, std::uint64_t retries = 0,
+                  std::uint64_t timeouts = 0) {
+    p2p_.push_back({phase, src, dst, bytes, round_, retries, timeouts});
   }
 
   void record_collective(Phase phase, bool is_reduce, std::vector<int> members,
                          std::uint64_t bytes) {
-    collectives_.push_back({phase, is_reduce, std::move(members), bytes, round_});
+    // Collectives carry the round of the last permute step plus a sequence
+    // number, so the relative order of src-less member-list events (e.g.
+    // reduce of step k before broadcast of step k+1) is pinned in the trace.
+    if (round_ != coll_seq_round_) {
+      coll_seq_round_ = round_;
+      coll_seq_ = 0;
+    }
+    collectives_.push_back({phase, is_reduce, std::move(members), bytes, round_, coll_seq_++});
   }
 
   void clear() {
     p2p_.clear();
     collectives_.clear();
     round_ = 0;
+    coll_seq_ = 0;
+    coll_seq_round_ = -1;
   }
 
   const std::vector<P2pEvent>& p2p() const noexcept { return p2p_; }
@@ -80,6 +93,8 @@ class TraceRecorder {
   std::vector<P2pEvent> p2p_;
   std::vector<CollectiveEvent> collectives_;
   int round_ = 0;
+  int coll_seq_ = 0;
+  int coll_seq_round_ = -1;
 };
 
 /// Canonical line-per-event text form of a trace, stable across platforms
@@ -90,10 +105,11 @@ inline std::string serialize_trace(const TraceRecorder& trace) {
   out << "rounds " << trace.rounds() << "\n";
   for (const auto& e : trace.p2p()) {
     out << "p2p round=" << e.round << " phase=" << phase_name(e.phase) << " src=" << e.src
-        << " dst=" << e.dst << " bytes=" << e.bytes << "\n";
+        << " dst=" << e.dst << " bytes=" << e.bytes << " retries=" << e.retries
+        << " timeouts=" << e.timeouts << "\n";
   }
   for (const auto& e : trace.collectives()) {
-    out << "coll round=" << e.round << " phase=" << phase_name(e.phase)
+    out << "coll round=" << e.round << " seq=" << e.seq << " phase=" << phase_name(e.phase)
         << " op=" << (e.is_reduce ? "reduce" : "bcast") << " bytes=" << e.bytes << " members=";
     for (std::size_t i = 0; i < e.members.size(); ++i) {
       if (i) out << ",";

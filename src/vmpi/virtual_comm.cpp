@@ -52,6 +52,9 @@ void VirtualComm::advance(int rank, Phase phase, double seconds, std::uint64_t m
 void VirtualComm::charge_interactions(int rank, double interactions) {
   double seconds = model_.compute_time(interactions);
   if (fault_) seconds *= fault_->compute_factor(rank);
+  // Safe from host worker threads: observers accumulate per rank, and the
+  // engine force loops are sequential per rank (like the ledger rows).
+  if (obs_) obs_->on_compute(rank, seconds);
   advance(rank, Phase::Compute, seconds);
 }
 
@@ -69,6 +72,7 @@ void VirtualComm::whole_machine_collective(Phase phase, double bytes, bool is_re
   machine::CollectiveContext ctx{p_, bytes, p_, /*whole_partition=*/true};
   double t_coll = is_reduce ? model_.reduce_time(ctx) : model_.broadcast_time(ctx);
   if (fault_) t_coll *= fault_->collective_factor(0, p_, [](int i) { return i; });
+  if (obs_) obs_->on_collective(phase, is_reduce, p_, static_cast<std::uint64_t>(bytes), t_coll);
   const double finish = t0 + t_coll;
   const auto msgs = static_cast<std::uint64_t>(model_.collective_messages(p_));
   for (int r = 0; r < p_; ++r) {

@@ -25,6 +25,7 @@
 #include "vmpi/cost_ledger.hpp"
 #include "vmpi/fault.hpp"
 #include "vmpi/grid.hpp"
+#include "vmpi/observer.hpp"
 #include "vmpi/trace.hpp"
 
 namespace canb::vmpi {
@@ -64,6 +65,12 @@ class VirtualComm {
   /// this to disable uniform-schedule fast paths).
   bool fault_active() const noexcept { return fault_ != nullptr && fault_->active(); }
 
+  /// Attaches a telemetry observer (not owned; nullptr detaches). Purely
+  /// passive: every charge is reported after the fact, so an attached
+  /// observer leaves clocks and ledgers bitwise identical (tested).
+  void set_observer(CommObserver* obs) noexcept { obs_ = obs; }
+  CommObserver* observer() const noexcept { return obs_; }
+
   // --- local charges -----------------------------------------------------
   /// Advances one rank's clock, attributing to `phase`.
   void advance(int rank, Phase phase, double seconds, std::uint64_t messages = 0,
@@ -99,11 +106,12 @@ class VirtualComm {
       // Empty payloads send no message (e.g. boundary leaders in the
       // re-assignment exchange have nothing to route outward).
       if (w <= 0.0) continue;
-      if (trace_) trace_->record_p2p(phase, src, r, static_cast<std::uint64_t>(w));
       const int hops = hop_aware ? hop_topology_->hops(src, r) : 1;
       double cost = shift_phase ? m.shift_time(w, hops) : m.p2p_time(w, hops);
       std::uint64_t msgs = 1;
       std::uint64_t wire_bytes = static_cast<std::uint64_t>(w);
+      std::uint64_t retries = 0;
+      std::uint64_t timeouts = 0;
       if (fault_) {
         // A degraded link slows the whole transfer; drops cost a timeout
         // wait plus a full retransmission per failed attempt, all charged
@@ -114,12 +122,19 @@ class VirtualComm {
           cost += d.extra_seconds;
           msgs += d.retries;
           wire_bytes += static_cast<std::uint64_t>(w) * d.retries;
+          retries = d.retries;
+          timeouts = d.timeouts;
           ledger_.charge_fault(r, phase, d.retries, d.timeouts);
         }
       }
+      if (trace_) trace_->record_p2p(phase, src, r, static_cast<std::uint64_t>(w), retries, timeouts);
       const double start = std::max(clock_[static_cast<std::size_t>(r)],
                                     scratch_[static_cast<std::size_t>(src)]);
       const double finish = start + cost;
+      if (obs_) {
+        obs_->on_p2p(phase, src, r, static_cast<std::uint64_t>(w),
+                     start - clock_[static_cast<std::size_t>(r)], cost, retries, timeouts);
+      }
       advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs, wire_bytes);
       clock_[static_cast<std::size_t>(r)] = finish;
     }
@@ -164,6 +179,10 @@ class VirtualComm {
       }
       const double finish = t0 + t_coll;
       if (trace_) trace_->record_collective(phase, is_reduce, members, static_cast<std::uint64_t>(w));
+      if (obs_) {
+        obs_->on_collective(phase, is_reduce, static_cast<int>(members.size()),
+                            static_cast<std::uint64_t>(w), t_coll);
+      }
       const auto msgs =
           static_cast<std::uint64_t>(model_.collective_messages(static_cast<int>(members.size())));
       for (int r : members) {
@@ -206,6 +225,7 @@ class VirtualComm {
         trace_->record_collective(phase, is_reduce, std::move(members),
                                   static_cast<std::uint64_t>(w));
       }
+      if (obs_) obs_->on_collective(phase, is_reduce, c, static_cast<std::uint64_t>(w), t_coll);
       for (int row = 0; row < c; ++row) {
         const int r = grid.rank(row, col);
         advance(r, phase, finish - clock_[static_cast<std::size_t>(r)], msgs,
@@ -224,6 +244,7 @@ class VirtualComm {
   std::vector<double> scratch_;
   TraceRecorder* trace_ = nullptr;
   PerturbationModel* fault_ = nullptr;
+  CommObserver* obs_ = nullptr;
   /// Topology used for hop-aware latency; set in the constructor when the
   /// model requests it (alpha_hop > 0). Sized to exactly p ranks.
   std::shared_ptr<const machine::Topology> hop_topology_;

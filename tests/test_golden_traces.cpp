@@ -21,6 +21,7 @@
 #include "core/ca_cutoff.hpp"
 #include "core/policy.hpp"
 #include "machine/presets.hpp"
+#include "vmpi/fault.hpp"
 #include "vmpi/trace.hpp"
 
 #ifndef CANB_GOLDEN_DIR
@@ -75,6 +76,29 @@ TEST(GoldenTraces, AllPairsP12C2TwoSteps) {
   engine.comm().set_trace(&trace);
   engine.run(2);
   check_golden("allpairs_p12_c2.trace", vmpi::serialize_trace(trace));
+}
+
+// Same all-pairs schedule under deterministic message drops: the event
+// stream (sources, destinations, payloads, rounds) must not move, and the
+// per-event retry/timeout counters pin exactly which deliveries the fault
+// streams hit. A seed or stream-order change shows up as a golden diff.
+TEST(GoldenTraces, AllPairsP12C2FaultedDrops) {
+  const int p = 12;
+  const int c = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < p / c; ++t) blocks.push_back({static_cast<std::uint64_t>(3 + t)});
+  core::PhantomPolicy policy({0.0, /*bulk=*/false});
+  core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                               std::move(blocks));
+  vmpi::FaultConfig fc;
+  fc.seed = 7;
+  fc.drop_rate = 0.2;
+  vmpi::PerturbationModel fault(fc, p);
+  engine.comm().set_fault(&fault);
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  engine.run(2);
+  check_golden("allpairs_p12_c2_faulted.trace", vmpi::serialize_trace(trace));
 }
 
 TEST(GoldenTraces, Cutoff1dQ8M2C2TwoSteps) {

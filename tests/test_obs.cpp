@@ -1,0 +1,421 @@
+// Observability layer tests: metrics registry semantics, exporter output
+// pinned as golden strings, and the critical-path analyzer on hand-built
+// three-rank timelines where the correct chain is known by construction.
+//
+// The exporter goldens are inline (not files): the outputs are small and
+// a diff in the test source is easier to review than a binary-ish blob.
+// The engine-backed tests pin the tentpole acceptance criterion — the
+// recovered chain tiles the makespan, so per-phase critical-path seconds
+// sum to the ledger's critical-path time within 1e-9.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ca_all_pairs.hpp"
+#include "core/ca_cutoff.hpp"
+#include "core/policy.hpp"
+#include "machine/presets.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "support/assert.hpp"
+#include "vmpi/trace.hpp"
+
+namespace {
+
+using namespace canb;
+using vmpi::Phase;
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(ObsMetrics, HistogramBucketUpperBoundsAreInclusive) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // == 1: le semantics put it in the first bucket
+  h.observe(1.5);   // <= 2
+  h.observe(2.0);   // == 2
+  h.observe(4.0);   // == 4
+  h.observe(4.01);  // overflow -> +Inf
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.01);
+}
+
+TEST(ObsMetrics, HistogramRejectsBadEdges) {
+  EXPECT_THROW(obs::Histogram({}), PreconditionError);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), PreconditionError);
+}
+
+TEST(ObsMetrics, RegistrySeriesIdentityIsLabelOrderInsensitive) {
+  obs::MetricsRegistry reg;
+  reg.counter("m", {{"b", "2"}, {"a", "1"}}).inc(5);
+  // Same label set, different insertion order: must resolve to the same series.
+  reg.counter("m", {{"a", "1"}, {"b", "2"}}).inc(2);
+  const auto& family = reg.families().at("m");
+  ASSERT_EQ(family.series.size(), 1u);
+  EXPECT_EQ(std::get<obs::Counter>(family.series.begin()->second.metric).value(), 7u);
+  EXPECT_EQ(obs::MetricsRegistry::label_string(family.series.begin()->second.labels),
+            "{a=\"1\",b=\"2\"}");
+}
+
+TEST(ObsMetrics, RegistryRejectsFamilyTypeChange) {
+  obs::MetricsRegistry reg;
+  reg.counter("m").inc();
+  EXPECT_THROW(reg.gauge("m"), PreconditionError);
+  EXPECT_THROW(reg.histogram("m", {1.0}), PreconditionError);
+}
+
+// --- exporters: golden strings ----------------------------------------------
+
+/// Small fixed registry every exporter golden uses: one histogram, one
+/// labelled counter with help text, one label-less gauge.
+obs::MetricsRegistry make_golden_registry() {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("canb_bytes", {1.0, 2.0}, {{"phase", "shift"}});
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(3.0);
+  reg.counter("canb_ops_total", {{"phase", "shift"}}, "ops help").inc(3);
+  reg.gauge("canb_util").set(0.25);
+  return reg;
+}
+
+TEST(ObsExport, PrometheusTextGolden) {
+  const auto reg = make_golden_registry();
+  const std::string expected =
+      "# TYPE canb_bytes histogram\n"
+      "canb_bytes_bucket{phase=\"shift\",le=\"1\"} 2\n"
+      "canb_bytes_bucket{phase=\"shift\",le=\"2\"} 3\n"
+      "canb_bytes_bucket{phase=\"shift\",le=\"+Inf\"} 4\n"
+      "canb_bytes_sum{phase=\"shift\"} 6\n"
+      "canb_bytes_count{phase=\"shift\"} 4\n"
+      "# HELP canb_ops_total ops help\n"
+      "# TYPE canb_ops_total counter\n"
+      "canb_ops_total{phase=\"shift\"} 3\n"
+      "# TYPE canb_util gauge\n"
+      "canb_util 0.25\n";
+  EXPECT_EQ(obs::to_prometheus(reg), expected);
+}
+
+TEST(ObsExport, MetricsJsonGolden) {
+  const auto reg = make_golden_registry();
+  obs::RunManifest manifest;
+  manifest.machine = "testbox";
+  manifest.set("p", 3);
+  std::ostringstream out;
+  obs::write_metrics_json(out, reg, manifest);
+  const std::string expected =
+      "{\"schema_version\":2,\"kind\":\"metrics\","
+      "\"manifest\":{\"tool\":\"canb\",\"machine\":\"testbox\",\"config\":{\"p\":\"3\"}},"
+      "\"metrics\":["
+      "{\"name\":\"canb_bytes\",\"type\":\"histogram\",\"series\":["
+      "{\"labels\":{\"phase\":\"shift\"},\"edges\":[1,2],\"counts\":[2,1,1],"
+      "\"count\":4,\"sum\":6}]},"
+      "{\"name\":\"canb_ops_total\",\"type\":\"counter\",\"help\":\"ops help\",\"series\":["
+      "{\"labels\":{\"phase\":\"shift\"},\"value\":3}]},"
+      "{\"name\":\"canb_util\",\"type\":\"gauge\",\"series\":["
+      "{\"labels\":{},\"value\":0.25}]}"
+      "]}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+obs::SpanSample make_sample(std::string label, Phase phase, int step, std::size_t p2p_end,
+                            std::size_t coll_end, std::vector<double> clocks) {
+  obs::SpanSample s;
+  s.label = std::move(label);
+  s.phase = phase;
+  s.step = step;
+  s.p2p_end = p2p_end;
+  s.coll_end = coll_end;
+  s.clocks = std::move(clocks);
+  return s;
+}
+
+TEST(ObsExport, SpanCsvGolden) {
+  obs::SpanTimeline timeline;
+  timeline.add(make_sample("start", Phase::Other, -1, 0, 0, {0.0, 0.0}));
+  timeline.add(make_sample("shift", Phase::Shift, 0, 0, 0, {1.5, 2.25}));
+  std::ostringstream out;
+  obs::write_span_csv(out, timeline);
+  const std::string expected =
+      "sample,step,label,phase,rank,clock_seconds\n"
+      "0,-1,start,other,0,0\n"
+      "0,-1,start,other,1,0\n"
+      "1,0,shift,shift,0,1.5\n"
+      "1,0,shift,shift,1,2.25\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+// --- critical path: hand-built three-rank timelines --------------------------
+
+/// Compute straggler: rank 1 burns 5 s in the compute phase, the shift
+/// delivers its state to rank 0, and a closing reduce synchronizes all
+/// clocks at 5.8 s. Every rank finishes simultaneously, so slack alone says
+/// nothing — the chain must still attribute 5 of the 5.8 s to rank 1's
+/// compute. The clock values mimic exactly what VirtualComm would produce
+/// (receiver start = max(own, sender snapshot)).
+TEST(ObsCriticalPath, ThreeRankComputeStragglerChain) {
+  obs::SpanTimeline timeline;
+  timeline.add(make_sample("start", Phase::Other, -1, 0, 0, {0.0, 0.0, 0.0}));
+  timeline.add(make_sample("compute", Phase::Compute, 0, 0, 0, {1.0, 5.0, 2.0}));
+  timeline.add(make_sample("shift", Phase::Shift, 0, 3, 0, {5.5, 5.5, 2.5}));
+  timeline.add(make_sample("reduce", Phase::Reduce, 0, 3, 1, {5.8, 5.8, 5.8}));
+
+  vmpi::TraceRecorder trace;
+  trace.record_p2p(Phase::Shift, /*src=*/1, /*dst=*/0, 1024);
+  trace.record_p2p(Phase::Shift, /*src=*/2, /*dst=*/1, 1024);
+  trace.record_p2p(Phase::Shift, /*src=*/0, /*dst=*/2, 1024);
+  trace.record_collective(Phase::Reduce, /*is_reduce=*/true, {0, 1, 2}, 512);
+
+  const auto rep = obs::analyze_critical_path(timeline, &trace);
+  EXPECT_EQ(rep.end_rank, 0);  // clock tie at 5.8; argmax keeps the lowest rank
+  EXPECT_NEAR(rep.total, 5.8, 1e-12);
+
+  ASSERT_EQ(rep.segments.size(), 3u);
+  EXPECT_EQ(rep.segments[0].rank, 1);  // the straggler's compute leads the chain
+  EXPECT_EQ(rep.segments[0].phase, Phase::Compute);
+  EXPECT_DOUBLE_EQ(rep.segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(rep.segments[0].end, 5.0);
+  EXPECT_EQ(rep.segments[1].rank, 0);  // rank 0 waits on the shift from rank 1
+  EXPECT_EQ(rep.segments[1].phase, Phase::Shift);
+  EXPECT_DOUBLE_EQ(rep.segments[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(rep.segments[1].end, 5.5);
+  EXPECT_EQ(rep.segments[2].rank, 0);
+  EXPECT_EQ(rep.segments[2].phase, Phase::Reduce);
+
+  EXPECT_NEAR(rep.phase_seconds[static_cast<int>(Phase::Compute)], 5.0, 1e-12);
+  EXPECT_NEAR(rep.phase_seconds[static_cast<int>(Phase::Shift)], 0.5, 1e-12);
+  EXPECT_NEAR(rep.phase_seconds[static_cast<int>(Phase::Reduce)], 0.3, 1e-12);
+  double phase_sum = 0.0;
+  for (double s : rep.phase_seconds) phase_sum += s;
+  EXPECT_NEAR(phase_sum, rep.total, 1e-9);
+
+  EXPECT_EQ(rep.dominant_rank(), 1);
+  ASSERT_EQ(rep.rank_path_seconds.size(), 3u);
+  EXPECT_NEAR(rep.rank_path_seconds[1], 5.0, 1e-12);
+  EXPECT_NEAR(rep.rank_path_seconds[0], 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.rank_path_seconds[2], 0.0);
+  for (double s : rep.slack) EXPECT_DOUBLE_EQ(s, 0.0);  // reduce synced everyone
+
+  const auto text = obs::format_critical_path(rep);
+  EXPECT_NE(text.find("dominant rank: 1"), std::string::npos);
+  EXPECT_NE(text.find("compute=5.0"), std::string::npos);
+}
+
+/// Fault straggler on a link: rank 2's shift delivery into rank 0 arrives
+/// late (retries in the trace), so the last-finishing rank 0 inherited its
+/// finish time from rank 2 — the chain must hop to the *sender*, not stay
+/// on the receiver that merely waited.
+TEST(ObsCriticalPath, FaultedLinkAttributesSendingStraggler) {
+  obs::SpanTimeline timeline;
+  timeline.add(make_sample("start", Phase::Other, -1, 0, 0, {0.0, 0.0, 0.0}));
+  timeline.add(make_sample("compute", Phase::Compute, 0, 0, 0, {1.0, 2.0, 3.0}));
+  timeline.add(make_sample("shift", Phase::Shift, 0, 2, 0, {3.4, 2.1, 3.1}));
+
+  vmpi::TraceRecorder trace;
+  trace.record_p2p(Phase::Shift, /*src=*/2, /*dst=*/0, 2048, /*retries=*/2, /*timeouts=*/1);
+  trace.record_p2p(Phase::Shift, /*src=*/0, /*dst=*/1, 2048);
+
+  const auto rep = obs::analyze_critical_path(timeline, &trace);
+  EXPECT_EQ(rep.end_rank, 0);
+  EXPECT_NEAR(rep.total, 3.4, 1e-12);
+  ASSERT_EQ(rep.segments.size(), 2u);
+  EXPECT_EQ(rep.segments[0].rank, 2);  // straggling sender holds the path first
+  EXPECT_EQ(rep.segments[0].phase, Phase::Compute);
+  EXPECT_DOUBLE_EQ(rep.segments[0].end, 3.0);
+  EXPECT_EQ(rep.segments[1].rank, 0);
+  EXPECT_DOUBLE_EQ(rep.segments[1].start, 3.0);
+  EXPECT_EQ(rep.dominant_rank(), 2);
+  EXPECT_NEAR(rep.slack[1], 1.3, 1e-12);
+  EXPECT_NEAR(rep.slack[2], 0.3, 1e-12);
+}
+
+/// Without a trace there is no dependency evidence: every span binds to the
+/// walked rank itself, and the chain is pure per-rank attribution of the
+/// end rank. The tiling identity must survive.
+TEST(ObsCriticalPath, NullTraceBindsSelf) {
+  obs::SpanTimeline timeline;
+  timeline.add(make_sample("start", Phase::Other, -1, 0, 0, {0.0, 0.0, 0.0}));
+  timeline.add(make_sample("compute", Phase::Compute, 0, 0, 0, {1.0, 5.0, 2.0}));
+  timeline.add(make_sample("shift", Phase::Shift, 0, 3, 0, {5.5, 5.5, 2.5}));
+  timeline.add(make_sample("reduce", Phase::Reduce, 0, 3, 1, {5.8, 5.8, 5.8}));
+
+  const auto rep = obs::analyze_critical_path(timeline, nullptr);
+  EXPECT_EQ(rep.end_rank, 0);
+  EXPECT_NEAR(rep.total, 5.8, 1e-12);
+  for (const auto& seg : rep.segments) EXPECT_EQ(seg.rank, 0);
+  EXPECT_NEAR(rep.rank_path_seconds[0], 5.8, 1e-12);
+  EXPECT_EQ(rep.dominant_rank(), 0);
+}
+
+TEST(ObsCriticalPath, NeedsTwoSamplesElseEmptyReport) {
+  obs::SpanTimeline timeline;
+  const auto empty = obs::analyze_critical_path(timeline, nullptr);
+  EXPECT_EQ(empty.end_rank, -1);
+  EXPECT_TRUE(empty.segments.empty());
+  timeline.add(make_sample("start", Phase::Other, -1, 0, 0, {0.0}));
+  const auto one = obs::analyze_critical_path(timeline, nullptr);
+  EXPECT_EQ(one.end_rank, -1);
+  EXPECT_DOUBLE_EQ(one.total, 0.0);
+}
+
+// --- critical path against real engines --------------------------------------
+
+/// The tentpole acceptance identity on a real schedule: the chain recovered
+/// from telemetry spans tiles [0, makespan] gaplessly, so (a) per-phase
+/// seconds sum to the ledger's critical-path time (the max final clock)
+/// within 1e-9, and (b) consecutive segments join exactly. Non-uniform
+/// blocks make some teams genuine stragglers.
+template <class Engine>
+void expect_chain_tiles_makespan(Engine& engine, obs::Telemetry& telem, int steps) {
+  engine.set_telemetry(&telem);
+  engine.run(steps);
+  telem.finalize(engine.comm());
+
+  ASSERT_NE(telem.trace(), nullptr);
+  const auto rep = obs::analyze_critical_path(telem.spans(), telem.trace());
+
+  double makespan = 0.0;
+  for (int r = 0; r < engine.comm().size(); ++r) {
+    makespan = std::max(makespan, engine.comm().clock(r));
+  }
+  ASSERT_GE(rep.end_rank, 0);
+  EXPECT_DOUBLE_EQ(engine.comm().clock(rep.end_rank), makespan);
+  EXPECT_NEAR(rep.total, makespan, 1e-9);
+
+  double phase_sum = 0.0;
+  for (double s : rep.phase_seconds) phase_sum += s;
+  EXPECT_NEAR(phase_sum, makespan, 1e-9);
+
+  double rank_sum = 0.0;
+  for (double s : rep.rank_path_seconds) rank_sum += s;
+  EXPECT_NEAR(rank_sum, makespan, 1e-9);
+
+  ASSERT_FALSE(rep.segments.empty());
+  for (std::size_t i = 0; i < rep.segments.size(); ++i) {
+    EXPECT_GT(rep.segments[i].duration(), 0.0);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(rep.segments[i].start, rep.segments[i - 1].end);
+    }
+  }
+  EXPECT_DOUBLE_EQ(rep.segments.front().start, 0.0);
+  EXPECT_DOUBLE_EQ(rep.segments.back().end, makespan);
+}
+
+TEST(ObsCriticalPath, TilesAllPairsMakespanExactly) {
+  const int p = 12;
+  const int c = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < p / c; ++t) blocks.push_back({static_cast<std::uint64_t>(3 + 2 * t)});
+  core::PhantomPolicy policy({0.0, /*bulk=*/true});
+  core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                               std::move(blocks));
+  obs::Telemetry telem(obs::ObsLevel::Full);
+  expect_chain_tiles_makespan(engine, telem, 3);
+}
+
+TEST(ObsCriticalPath, TilesCutoffMakespanExactly) {
+  const int q = 8;
+  const int c = 2;
+  const int m = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < q; ++t) blocks.push_back({static_cast<std::uint64_t>(2 + t % 4)});
+  core::PhantomPolicy policy({/*reassign_fraction=*/0.05, /*bulk=*/true});
+  core::CaCutoff<core::PhantomPolicy> engine(
+      {q * c, c, machine::laptop(), core::CutoffGeometry::make_1d(q, m), /*periodic=*/true},
+      policy, std::move(blocks));
+  obs::Telemetry telem(obs::ObsLevel::Full);
+  expect_chain_tiles_makespan(engine, telem, 2);
+}
+
+// --- telemetry metrics publication -------------------------------------------
+
+/// Metrics level: counters must agree with the CostLedger's own totals —
+/// same events, two observers.
+TEST(ObsTelemetry, MetricsAgreeWithLedgerTraffic) {
+  const int p = 12;
+  const int c = 2;
+  std::vector<core::PhantomBlock> blocks;
+  for (int t = 0; t < p / c; ++t) blocks.push_back({static_cast<std::uint64_t>(3 + t)});
+  core::PhantomPolicy policy({0.0, /*bulk=*/true});
+  core::CaAllPairs<core::PhantomPolicy> engine({p, c, machine::laptop()}, policy,
+                                               std::move(blocks));
+  obs::Telemetry telem(obs::ObsLevel::Metrics);
+  engine.set_telemetry(&telem);
+  // Independent witness: the trace records exactly the events the observer
+  // hooks see (the ledger's message column also counts collective hops, so
+  // it is not the right cross-check for the p2p counters).
+  vmpi::TraceRecorder trace;
+  engine.comm().set_trace(&trace);
+  const int steps = 2;
+  engine.run(steps);
+  telem.finalize(engine.comm());
+
+  // Metrics level records no spans and reads no trace.
+  EXPECT_TRUE(telem.spans().empty());
+  EXPECT_EQ(telem.trace(), nullptr);
+
+  const auto& families = telem.metrics().families();
+  const auto sum_counters = [&](const std::string& name) {
+    std::uint64_t total = 0;
+    const auto it = families.find(name);
+    if (it == families.end()) return total;
+    for (const auto& [key, series] : it->second.series) {
+      total += std::get<obs::Counter>(series.metric).value();
+    }
+    return total;
+  };
+
+  const auto p2p_count = static_cast<std::uint64_t>(trace.p2p().size());
+  std::uint64_t p2p_bytes = 0;
+  for (const auto& e : trace.p2p()) p2p_bytes += e.bytes;
+  ASSERT_GT(p2p_count, 0u);
+  EXPECT_EQ(sum_counters("canb_messages_total"), p2p_count);
+  // canb_bytes_total additionally counts collective payloads; it can only
+  // exceed the p2p byte total, never undercount it.
+  EXPECT_GE(sum_counters("canb_bytes_total"), p2p_bytes);
+  EXPECT_EQ(sum_counters("canb_steps_total"), static_cast<std::uint64_t>(steps));
+  EXPECT_EQ(sum_counters("canb_collectives_total"),
+            static_cast<std::uint64_t>(trace.collectives().size()));
+  EXPECT_GT(sum_counters("canb_collectives_total"), 0u);
+
+  // The message-size histogram saw exactly the p2p messages.
+  const auto& hist_family = families.at("canb_message_bytes");
+  std::uint64_t observed = 0;
+  for (const auto& [key, series] : hist_family.series) {
+    observed += std::get<obs::Histogram>(series.metric).count();
+  }
+  EXPECT_EQ(observed, p2p_count);
+
+  // finalize() published one clock gauge per rank matching the comm.
+  for (int r = 0; r < p; ++r) {
+    const auto& clock_family = families.at("canb_rank_clock_seconds");
+    const auto key = obs::MetricsRegistry::label_string({{"rank", std::to_string(r)}});
+    const auto it = clock_family.series.find(key);
+    ASSERT_NE(it, clock_family.series.end());
+    EXPECT_DOUBLE_EQ(std::get<obs::Gauge>(it->second.metric).value(), engine.comm().clock(r));
+  }
+}
+
+TEST(ObsTelemetry, ParseObsLevelRoundTrips) {
+  using obs::ObsLevel;
+  EXPECT_EQ(obs::parse_obs_level("off"), ObsLevel::Off);
+  EXPECT_EQ(obs::parse_obs_level("metrics"), ObsLevel::Metrics);
+  EXPECT_EQ(obs::parse_obs_level("full"), ObsLevel::Full);
+  EXPECT_FALSE(obs::parse_obs_level("verbose").has_value());
+  EXPECT_STREQ(obs::obs_level_name(ObsLevel::Full), "full");
+}
+
+}  // namespace

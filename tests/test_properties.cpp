@@ -9,6 +9,8 @@
 //  P6  gather() preserves the particle set (no loss, no duplication)
 //  P7  a zero-rate PerturbationModel is bitwise inert: ledger, clocks, and
 //      trajectories match the no-model path exactly
+//  P8  attached telemetry is bitwise inert: full observability changes no
+//      clock, ledger entry, or trajectory relative to an unobserved run
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -22,6 +24,7 @@
 #include "core/policy.hpp"
 #include "decomp/partition.hpp"
 #include "machine/presets.hpp"
+#include "obs/telemetry.hpp"
 #include "particles/init.hpp"
 #include "support/rng.hpp"
 #include "vmpi/fault.hpp"
@@ -327,6 +330,105 @@ TEST(Properties, ZeroRateFaultModelIsBitwiseInert) {
     const auto bare = run(false);
     const auto modeled = run(true);
     expect_comms_bitwise_equal(bare.engine->comm(), modeled.engine->comm());
+  }
+}
+
+// --- P8: attached telemetry is bitwise inert ---------------------------------------
+
+// Observation must be strictly passive: a run with full telemetry (metrics,
+// span sampling, owned trace — and the per-step schedule the observer hooks
+// force in place of the bulk shortcut) produces the *bitwise* same clocks,
+// ledger, and trajectories as a bare run. This is the guarantee that makes
+// --obs-level safe to turn on for any experiment.
+TEST(Properties, AttachedTelemetryIsBitwiseInert) {
+  const Box box2 = Box::reflective_2d(1.0);
+
+  auto expect_comms_bitwise_equal = [](const vmpi::VirtualComm& a, const vmpi::VirtualComm& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (int r = 0; r < a.size(); ++r) {
+      EXPECT_EQ(a.clock(r), b.clock(r));
+      EXPECT_EQ(a.ledger().messages(r), b.ledger().messages(r));
+      EXPECT_EQ(a.ledger().bytes(r), b.ledger().bytes(r));
+      for (int ph = 0; ph < vmpi::kPhaseCount; ++ph) {
+        EXPECT_EQ(a.ledger().seconds(r, static_cast<vmpi::Phase>(ph)),
+                  b.ledger().seconds(r, static_cast<vmpi::Phase>(ph)));
+      }
+    }
+  };
+
+  for (int trial = 0; trial < 2; ++trial) {
+    const int p = trial == 0 ? 12 : 16;
+    const int c = trial == 0 ? 2 : 4;
+    const int n = 40 + 10 * trial;
+    const auto init = particles::init_uniform(n, box2, 4000 + trial, 0.02);
+
+    auto run = [&](bool with_telemetry) {
+      Policy policy({box2, InverseSquareRepulsion{1e-4, 1e-2}, 0.0, 1e-4});
+      struct Result {
+        std::unique_ptr<core::CaAllPairs<Policy>> engine;
+        std::unique_ptr<obs::Telemetry> telemetry;
+      } res;
+      res.engine = std::make_unique<core::CaAllPairs<Policy>>(
+          core::CaAllPairs<Policy>::Config{p, c, machine::laptop()}, std::move(policy),
+          decomp::split_even(init, p / c));
+      if (with_telemetry) {
+        res.telemetry = std::make_unique<obs::Telemetry>(obs::ObsLevel::Full);
+        res.engine->set_telemetry(res.telemetry.get());
+      }
+      res.engine->run(2);
+      return res;
+    };
+
+    const auto bare = run(false);
+    const auto observed = run(true);
+    expect_comms_bitwise_equal(bare.engine->comm(), observed.engine->comm());
+    // The observed run really did observe something.
+    ASSERT_TRUE(observed.telemetry->spans().size() > 2);
+    ASSERT_FALSE(observed.telemetry->metrics().empty());
+
+    auto lhs = decomp::concat(bare.engine->team_results());
+    auto rhs = decomp::concat(observed.engine->team_results());
+    particles::sort_by_id(lhs);
+    particles::sort_by_id(rhs);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].px, rhs[i].px);
+      EXPECT_EQ(lhs[i].py, rhs[i].py);
+      EXPECT_EQ(lhs[i].vx, rhs[i].vx);
+      EXPECT_EQ(lhs[i].vy, rhs[i].vy);
+    }
+  }
+
+  // Cutoff engine, Metrics level (the counter-only fast configuration).
+  {
+    const Box box1 = Box::reflective_1d(1.0);
+    const int q = 8;
+    const int c = 2;
+    const auto init = particles::init_uniform(48, box1, 5000, 2.0);
+    const int m = core::window_radius_teams(0.25, 1.0, q);
+
+    auto run = [&](bool with_telemetry) {
+      Policy policy({box1, InverseSquareRepulsion{1e-4, 1e-2}, 0.25, 2e-3});
+      struct Result {
+        std::unique_ptr<core::CaCutoff<Policy>> engine;
+        std::unique_ptr<obs::Telemetry> telemetry;
+      } res;
+      res.engine = std::make_unique<core::CaCutoff<Policy>>(
+          core::CaCutoff<Policy>::Config{q * c, c, machine::laptop(),
+                                         core::CutoffGeometry::make_1d(q, m), false},
+          std::move(policy), decomp::split_spatial_1d(init, box1, q));
+      if (with_telemetry) {
+        res.telemetry = std::make_unique<obs::Telemetry>(obs::ObsLevel::Metrics);
+        res.engine->set_telemetry(res.telemetry.get());
+      }
+      res.engine->run(2);
+      return res;
+    };
+
+    const auto bare = run(false);
+    const auto observed = run(true);
+    expect_comms_bitwise_equal(bare.engine->comm(), observed.engine->comm());
+    ASSERT_FALSE(observed.telemetry->metrics().empty());
   }
 }
 

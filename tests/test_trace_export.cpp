@@ -1,54 +1,73 @@
-// Chrome-trace export: sampler semantics and well-formed JSON output.
+// Chrome-trace export from telemetry spans: sampling semantics and
+// well-formed JSON output (obs/export.hpp; replaces the old manual
+// sim::ClockSampler flow).
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "core/ca_all_pairs.hpp"
 #include "core/policy.hpp"
 #include "machine/presets.hpp"
-#include "sim/trace_export.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 
 namespace {
 
 using namespace canb;
 
-TEST(ClockSampler, CapturesPerRankClocks) {
-  vmpi::VirtualComm vc(3, machine::laptop());
-  sim::ClockSampler sampler;
-  sampler.sample(vc, "start");
-  vc.advance(1, vmpi::Phase::Compute, 2.5);
-  sampler.sample(vc, "after-compute");
-  ASSERT_EQ(sampler.samples().size(), 2u);
-  EXPECT_EQ(sampler.samples()[0].clocks, (std::vector<double>{0, 0, 0}));
-  EXPECT_EQ(sampler.samples()[1].clocks, (std::vector<double>{0, 2.5, 0}));
-  EXPECT_EQ(sampler.samples()[1].label, "after-compute");
+TEST(TelemetrySpans, SamplesPerRankClocksAtPhaseBoundaries) {
+  core::PhantomPolicy policy({0.0, false});
+  core::CaAllPairs<core::PhantomPolicy> engine(
+      {4, 2, machine::laptop()}, policy, std::vector<core::PhantomBlock>(2, {4}));
+  obs::Telemetry telem(obs::ObsLevel::Full);
+  engine.set_telemetry(&telem);
+  engine.step();
+
+  const auto& samples = telem.spans().samples();
+  // baseline + broadcast/skew/interact (steps_ == 1 at p=4, c=2) +
+  // reduce + integrate.
+  ASSERT_GE(samples.size(), 5u);
+  EXPECT_EQ(samples.front().label, "start");
+  EXPECT_EQ(samples.front().step, -1);
+  EXPECT_EQ(samples.front().clocks, (std::vector<double>{0, 0, 0, 0}));
+  EXPECT_EQ(samples[1].label, "broadcast");
+  EXPECT_EQ(samples[1].phase, vmpi::Phase::Broadcast);
+  EXPECT_EQ(samples[1].step, 0);
+  for (const auto& s : samples) ASSERT_EQ(s.clocks.size(), 4u);
+  // Clocks never run backwards between samples.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    for (std::size_t r = 0; r < 4; ++r)
+      EXPECT_GE(samples[i].clocks[r], samples[i - 1].clocks[r]);
+  }
+  // The final sample matches the engine's clocks.
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(samples.back().clocks[static_cast<std::size_t>(r)], engine.comm().clock(r));
 }
 
 TEST(TraceExport, ProducesParseableJsonWithRankTracks) {
-  const std::string path = "/tmp/canb_test_trace.json";
   core::PhantomPolicy policy({0.0, false});
   core::CaAllPairs<core::PhantomPolicy> engine(
       {8, 2, machine::laptop()}, policy, std::vector<core::PhantomBlock>(4, {4}));
-  vmpi::TraceRecorder trace;
-  engine.comm().set_trace(&trace);
-  sim::ClockSampler sampler;
-  sampler.sample(engine.comm(), "init");
+  obs::Telemetry telem(obs::ObsLevel::Full);
+  engine.set_telemetry(&telem);
   engine.step();
-  sampler.sample(engine.comm(), "step-1");
-  sim::export_chrome_trace(path, sampler, &trace);
 
-  std::ifstream f(path);
-  std::stringstream ss;
-  ss << f.rdbuf();
-  const std::string json = ss.str();
+  obs::RunManifest manifest;
+  manifest.machine = "laptop";
+  manifest.set("p", 8).set("c", 2);
+  std::ostringstream out;
+  obs::write_chrome_trace(out, telem.spans(), telem.trace(), &manifest);
+  const std::string json = out.str();
+
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
-  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);   // duration events
-  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);       // a track per rank
-  EXPECT_NE(json.find("step-1"), std::string::npos);
-  EXPECT_NE(json.find("msg shift"), std::string::npos);       // flow markers
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // duration events
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);     // a track per rank
+  EXPECT_NE(json.find("\"cat\":\"shift\""), std::string::npos);
+  EXPECT_NE(json.find("rank 7"), std::string::npos);        // named tracks
+  EXPECT_NE(json.find("msg r"), std::string::npos);         // message markers
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos); // manifest rides along
+  EXPECT_NE(json.find("\"machine\":\"laptop\""), std::string::npos);
   // Braces/brackets balance (cheap well-formedness check).
   long depth = 0;
   for (char ch : json) {
@@ -57,12 +76,12 @@ TEST(TraceExport, ProducesParseableJsonWithRankTracks) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
-  std::remove(path.c_str());
 }
 
 TEST(TraceExport, RequiresSamples) {
-  sim::ClockSampler empty;
-  EXPECT_THROW(sim::export_chrome_trace("/tmp/canb_never.json", empty), PreconditionError);
+  obs::SpanTimeline empty;
+  std::ostringstream out;
+  EXPECT_THROW(obs::write_chrome_trace(out, empty), PreconditionError);
 }
 
 }  // namespace

@@ -39,6 +39,10 @@ struct Case {
   double cutoff = 0.1;
   particles::KernelEngine engine = particles::KernelEngine::Batched;
   int threads = 1;
+  /// Host data plane (vmpi/buffer_pool.hpp): pooled lane-subset copies vs
+  /// the legacy full-copy host path. Virtual ledgers are identical; only
+  /// host wall time moves.
+  bool pooled = true;
 };
 
 struct Result {
@@ -62,6 +66,7 @@ sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs) {
   cfg.cutoff = cs.cutoff;
   cfg.dt = 1e-4;
   cfg.engine = cs.engine;
+  cfg.pooled_data_plane = cs.pooled;
   return {cfg, particles::init_uniform(cs.n, cfg.box, 2013, 0.01)};
 }
 
@@ -108,6 +113,7 @@ void write_json(const std::string& path, const std::vector<Result>& rs, double m
           .kv("cutoff", r.cfg.cutoff)
           .kv("engine", engine_label(r.cfg.engine))
           .kv("threads", r.cfg.threads)
+          .kv("data_plane", r.cfg.pooled ? "pooled" : "legacy")
           .kv("steps_per_sec", r.steps_per_sec);
     });
   }
@@ -134,14 +140,26 @@ int main(int argc, char** argv) {
     // Threaded cutoff: the configuration the examples/figure sweeps use.
     cases.push_back({sim::Method::CaCutoff, 4096, 64, 2, 0.1, engine, 4});
   }
+  // Broadcast/reduce-dominated: deep replication (c=8 -> 7 replica copies
+  // per team per step) over small blocks, where the per-step host time is
+  // mostly data movement, not force arithmetic. Run with both host data
+  // planes back-to-back so the pooled/legacy ratio is recorded in the same
+  // JSON from the same process on the same host.
+  for (const int n : {128, 512}) {
+    for (const bool pooled : {false, true}) {
+      cases.push_back(
+          {sim::Method::CaAllPairs, n, 64, 8, 0.0, particles::KernelEngine::Batched, 1, pooled});
+    }
+  }
 
   std::vector<Result> results;
-  std::cout << "method        n      p    c  engine   thr  steps/s\n";
+  std::cout << "method        n      p    c  engine   thr  plane   steps/s\n";
   for (const auto& cs : cases) {
     Result r{cs, measure_steps_per_sec(cs, min_ms, repeats)};
     results.push_back(r);
-    std::printf("%-13s %-6d %-4d %-2d %-8s %-4d %.2f\n", sim::method_name(cs.method), cs.n,
-                cs.p, cs.c, engine_label(cs.engine), cs.threads, r.steps_per_sec);
+    std::printf("%-13s %-6d %-4d %-2d %-8s %-4d %-7s %.2f\n", sim::method_name(cs.method), cs.n,
+                cs.p, cs.c, engine_label(cs.engine), cs.threads, cs.pooled ? "pooled" : "legacy",
+                r.steps_per_sec);
   }
   write_json(out_path, results, min_ms, repeats);
   std::cout << "wrote " << out_path << "\n";

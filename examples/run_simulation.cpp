@@ -15,6 +15,8 @@
 //   --threads     host threads for the force loops (ca methods);
 //                 0 = auto-detect (std::thread::hardware_concurrency)
 //   --engine      scalar | batched host force sweep (virtual time unchanged)
+//   --data-plane  pooled | legacy host buffer movement (vmpi/buffer_pool.hpp);
+//                 host wall time only — outputs are bitwise identical
 //
 // Fault injection (deterministic; see vmpi/fault.hpp and docs/TESTING.md).
 // Passing any of these attaches a PerturbationModel to the virtual machine;
@@ -97,9 +99,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
-                      "threads", "integrator", "engine", "fault-seed", "straggler", "jitter",
-                      "drop-rate", "link-degrade", "obs-level", "metrics-out", "trace-out",
-                      "spans-csv"});
+                      "threads", "integrator", "engine", "data-plane", "fault-seed",
+                      "straggler", "jitter", "drop-rate", "link-degrade", "obs-level",
+                      "metrics-out", "trace-out", "spans-csv"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -111,6 +113,11 @@ int main(int argc, char** argv) {
   cfg.kernel = particles::InverseSquareRepulsion{1e-4, 1e-2};
   cfg.integrator = args.get("integrator", "velocity-verlet");
   cfg.engine = particles::parse_engine(args.get("engine", "scalar"));
+  {
+    const std::string dp = args.get("data-plane", "pooled");
+    CANB_REQUIRE(dp == "pooled" || dp == "legacy", "unknown --data-plane (pooled | legacy)");
+    cfg.pooled_data_plane = dp == "pooled";
+  }
   const int n = static_cast<int>(args.get_int("n", 512));
   const int steps = static_cast<int>(args.get_int("steps", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));

@@ -28,6 +28,7 @@
 #include "particles/integrator.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
+#include "vmpi/buffer_pool.hpp"
 #include "vmpi/primitives.hpp"
 #include "vmpi/virtual_comm.hpp"
 
@@ -78,9 +79,23 @@ class CaAllPairs {
   }
 
   /// Attaches a host thread pool: the per-rank interaction loop (the O(n^2/p)
-  /// force arithmetic) fans out across host threads. Virtual-rank arithmetic
-  /// stays sequential per rank, so results are bitwise identical to serial.
-  void set_host_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
+  /// force arithmetic) fans out across host threads, and the data plane (if
+  /// one is attached) fans its copies too. Virtual-rank arithmetic stays
+  /// sequential per rank, so results are bitwise identical to serial.
+  void set_host_pool(std::shared_ptr<ThreadPool> pool) {
+    pool_ = std::move(pool);
+    if (plane_) plane_->workers = pool_.get();
+  }
+
+  /// Attaches the host data plane (pooled buffers + parallel copies; see
+  /// vmpi/buffer_pool.hpp). Engines of one run share a plane via
+  /// sim::Simulation. nullptr selects the legacy serial/allocating host
+  /// path — host execution only; ledgers, traces, and trajectories are
+  /// bitwise identical either way (tests/test_data_plane.cpp).
+  void set_data_plane(std::shared_ptr<vmpi::DataPlane<Buffer>> plane) {
+    plane_ = std::move(plane);
+    if (plane_) plane_->workers = pool_.get();
+  }
 
   /// Attaches telemetry (not owned; nullptr detaches). Observation is
   /// passive — ledger and clocks are bitwise unchanged — but Full-level
@@ -101,8 +116,8 @@ class CaAllPairs {
     } else {
       shift_loop();
     }
-    vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes,
-                       [](Buffer& acc, const Buffer& in) { Policy::combine(acc, in); });
+    vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes, TeamCombine<Policy>{},
+                       vmpi::Phase::Reduce, plane_.get());
     boundary(vmpi::Phase::Reduce, "reduce");
     post_integrate();
     boundary(vmpi::Phase::Compute, "integrate");
@@ -148,15 +163,29 @@ class CaAllPairs {
   }
 
   void broadcast_and_stage() {
-    vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes);
+    vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes, vmpi::Phase::Broadcast,
+                          plane_.get());
     boundary(vmpi::Phase::Broadcast, "broadcast");
-    for (int r = 0; r < cfg_.p; ++r) {
-      auto& c = carried_[static_cast<std::size_t>(r)];
-      c.buf = resident_[static_cast<std::size_t>(r)];
-      c.team = grid_.col_of(r);
+    if (plane_) {
+      // Carried blocks are pure visitors (the sweeps' read-only operand),
+      // so staging copies only the kernel-input lanes.
+      vmpi::stage_buffers(
+          vc_, resident_, carried_,
+          [this](int r, Carried& c, const Buffer& src) {
+            vmpi::detail::assign_visitor(c.buf, src);
+            c.team = grid_.col_of(r);
+          },
+          plane_.get());
+    } else {
+      for (int r = 0; r < cfg_.p; ++r) {
+        auto& c = carried_[static_cast<std::size_t>(r)];
+        c.buf = resident_[static_cast<std::size_t>(r)];
+        c.team = grid_.col_of(r);
+      }
     }
     vmpi::skew_rows(vc_, grid_, [](int row) { return row; }, carried_,
-                    &CaAllPairs::carried_bytes);
+                    &CaAllPairs::carried_bytes, vmpi::Phase::Skew,
+                    plane_ ? &plane_->ints : nullptr);
     boundary(vmpi::Phase::Skew, "skew");
   }
 
@@ -265,6 +294,7 @@ class CaAllPairs {
   vmpi::VirtualComm vc_;
   std::unique_ptr<particles::Integrator> integrator_;
   std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<vmpi::DataPlane<Buffer>> plane_ = std::make_shared<vmpi::DataPlane<Buffer>>();
   obs::Telemetry* telem_ = nullptr;
   std::vector<Buffer> resident_;
   std::vector<Carried> carried_;

@@ -29,6 +29,7 @@
 #include "particles/integrator.hpp"
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
+#include "vmpi/buffer_pool.hpp"
 #include "vmpi/primitives.hpp"
 #include "vmpi/virtual_comm.hpp"
 
@@ -95,9 +96,20 @@ class CaCutoff {
     integrator_ = std::move(integ);
   }
 
-  /// Attaches a host thread pool for the per-rank interaction loops; see
-  /// CaAllPairs::set_host_pool.
-  void set_host_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
+  /// Attaches a host thread pool for the per-rank interaction loops and the
+  /// data plane's copy fan-out; see CaAllPairs::set_host_pool.
+  void set_host_pool(std::shared_ptr<ThreadPool> pool) {
+    pool_ = std::move(pool);
+    if (plane_) plane_->workers = pool_.get();
+  }
+
+  /// Attaches the host data plane (pooled buffers + parallel copies); see
+  /// CaAllPairs::set_data_plane. nullptr selects the legacy serial host
+  /// path; bitwise identical outputs either way.
+  void set_data_plane(std::shared_ptr<vmpi::DataPlane<Buffer>> plane) {
+    plane_ = std::move(plane);
+    if (plane_) plane_->workers = pool_.get();
+  }
 
   /// Attaches telemetry (not owned; nullptr detaches); see
   /// CaAllPairs::set_telemetry — observation is passive.
@@ -109,7 +121,8 @@ class CaCutoff {
   void step() {
     if (telem_ != nullptr) telem_->begin_step(vc_);
     pre_integrate();
-    vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes);
+    vmpi::broadcast_teams(vc_, grid_, resident_, &Policy::bytes, vmpi::Phase::Broadcast,
+                          plane_.get());
     boundary(vmpi::Phase::Broadcast, "broadcast");
     stage_and_skew();
     boundary(vmpi::Phase::Skew, "skew");
@@ -121,8 +134,8 @@ class CaCutoff {
       interact_slot(j);
       boundary(vmpi::Phase::Compute, "interact");
     }
-    vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes,
-                       [](Buffer& acc, const Buffer& in) { Policy::combine(acc, in); });
+    vmpi::reduce_teams(vc_, grid_, resident_, &Policy::bytes, TeamCombine<Policy>{},
+                       vmpi::Phase::Reduce, plane_.get());
     boundary(vmpi::Phase::Reduce, "reduce");
     post_integrate();
     boundary(vmpi::Phase::Compute, "integrate");
@@ -187,12 +200,21 @@ class CaCutoff {
   }
 
   void stage_and_skew() {
-    for (int r = 0; r < cfg_.p; ++r)
-      carried_[static_cast<std::size_t>(r)] = resident_[static_cast<std::size_t>(r)];
+    if (plane_) {
+      // Carried blocks are pure visitors here (the sweeps' read-only
+      // operand), so staging copies only the kernel-input lanes.
+      vmpi::stage_buffers(
+          vc_, resident_, carried_,
+          [](int, Buffer& dst, const Buffer& src) { vmpi::detail::assign_visitor(dst, src); },
+          plane_.get());
+    } else {
+      for (int r = 0; r < cfg_.p; ++r)
+        carried_[static_cast<std::size_t>(r)] = resident_[static_cast<std::size_t>(r)];
+    }
     const auto& geom = cfg_.geometry;
-    std::vector<TeamOffset> deltas(static_cast<std::size_t>(cfg_.c));
-    for (int k = 0; k < cfg_.c; ++k) deltas[static_cast<std::size_t>(k)] = geom.slot_offset(k);
-    fill_sources(deltas);
+    deltas_.resize(static_cast<std::size_t>(cfg_.c));
+    for (int k = 0; k < cfg_.c; ++k) deltas_[static_cast<std::size_t>(k)] = geom.slot_offset(k);
+    fill_sources(deltas_);
     vmpi::permute_buffers(vc_, [this](int r) { return src_[static_cast<std::size_t>(r)]; },
                           carried_, scratch_, &Policy::bytes, vmpi::Phase::Skew,
                           /*shift_phase=*/false);
@@ -202,13 +224,13 @@ class CaCutoff {
     const auto& geom = cfg_.geometry;
     // Row k walks slots k, k+c, ... — displacement between consecutive
     // slots is uniform per row per step, so one permutation round suffices.
-    std::vector<TeamOffset> deltas(static_cast<std::size_t>(cfg_.c));
+    deltas_.resize(static_cast<std::size_t>(cfg_.c));
     for (int k = 0; k < cfg_.c; ++k) {
       const TeamOffset prev = geom.slot_offset(k + cfg_.c * (j - 1));
       const TeamOffset next = geom.slot_offset(k + cfg_.c * j);
-      deltas[static_cast<std::size_t>(k)] = {next.x - prev.x, next.y - prev.y, next.z - prev.z};
+      deltas_[static_cast<std::size_t>(k)] = {next.x - prev.x, next.y - prev.y, next.z - prev.z};
     }
-    fill_sources(deltas);
+    fill_sources(deltas_);
     vmpi::permute_buffers(vc_, [this](int r) { return src_[static_cast<std::size_t>(r)]; },
                           carried_, scratch_, &Policy::bytes, vmpi::Phase::Shift,
                           /*shift_phase=*/true);
@@ -220,23 +242,19 @@ class CaCutoff {
     const int qy = geom.qy();
     const int qz = geom.qz();
     const int q = geom.teams();
-    // Per-row slot geometry, computed once per step.
-    struct RowSlot {
-      bool in_window = false;
-      bool self = false;
-      TeamOffset off{};
-    };
-    std::vector<RowSlot> rows(static_cast<std::size_t>(cfg_.c));
+    // Per-row slot geometry, computed once per step (rows_ is persistent
+    // scratch: the per-slot loops must not allocate in steady state).
+    rows_.resize(static_cast<std::size_t>(cfg_.c));
     for (int k = 0; k < cfg_.c; ++k) {
       const int s = k + cfg_.c * j;
-      auto& rs = rows[static_cast<std::size_t>(k)];
+      auto& rs = rows_[static_cast<std::size_t>(k)];
       rs.in_window = geom.slot_in_window(s);
       rs.off = geom.slot_offset(s);
       rs.self = rs.off == TeamOffset{};
     }
     auto body = [&](int b, int e) {
       for (int r = b; r < e; ++r) {
-        const auto& rs = rows[static_cast<std::size_t>(r / q)];
+        const auto& rs = rows_[static_cast<std::size_t>(r / q)];
         if (!rs.in_window) continue;
         if (!cfg_.periodic) {
           const int ox = tx_[static_cast<std::size_t>(r)] + rs.off.x;
@@ -269,7 +287,7 @@ class CaCutoff {
 
   // --- re-assignment (spatial decomposition maintenance) ------------------
   void reassign() {
-    reassign_spatial(vc_, grid_, cfg_.geometry, policy_, resident_, cfg_.machine);
+    reassign_spatial(vc_, grid_, cfg_.geometry, policy_, resident_, cfg_.machine, plane_.get());
   }
 
   Config cfg_;
@@ -277,7 +295,15 @@ class CaCutoff {
   vmpi::Grid2d grid_;
   vmpi::VirtualComm vc_;
   std::unique_ptr<particles::Integrator> integrator_;
+  /// Per-row slot geometry for the current interaction slot.
+  struct RowSlot {
+    bool in_window = false;
+    bool self = false;
+    TeamOffset off{};
+  };
+
   std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<vmpi::DataPlane<Buffer>> plane_ = std::make_shared<vmpi::DataPlane<Buffer>>();
   obs::Telemetry* telem_ = nullptr;
   std::vector<Buffer> resident_;
   std::vector<Buffer> carried_;
@@ -286,6 +312,8 @@ class CaCutoff {
   std::vector<int> ty_;   ///< per-rank team y coordinate (cached)
   std::vector<int> tz_;   ///< per-rank team z coordinate (cached)
   std::vector<int> src_;  ///< per-step receive-from permutation (scratch)
+  std::vector<TeamOffset> deltas_;  ///< per-row displacement scratch
+  std::vector<RowSlot> rows_;       ///< per-row slot-geometry scratch
   int slots_ = 0;
 };
 

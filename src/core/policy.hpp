@@ -55,6 +55,24 @@ std::vector<Buffer> convert_blocks(std::vector<B> blocks) {
   }
 }
 
+/// The combine functor both CA engines hand to vmpi::reduce_teams.
+/// Whole-buffer combine always; the element-range overload exists only when
+/// the policy provides one (RealPolicy does; PhantomPolicy reduces counts,
+/// which have no element axis) — reduce_teams detects it by invocability
+/// and splits each team's fold by element range across host threads.
+template <class Policy>
+struct TeamCombine {
+  using Buffer = typename Policy::Buffer;
+  void operator()(Buffer& acc, const Buffer& in) const { Policy::combine(acc, in); }
+  template <class B = Buffer>
+    requires requires(B& a, const B& i) {
+      Policy::combine_range(a, i, std::size_t{}, std::size_t{});
+    }
+  void operator()(B& acc, const B& in, std::size_t lo, std::size_t hi) const {
+    Policy::combine_range(acc, in, lo, hi);
+  }
+};
+
 template <particles::ForceKernel K>
 class RealPolicy {
  public:
@@ -89,8 +107,15 @@ class RealPolicy {
   /// Sums force accumulators of `in` into `acc` (team reduction combine).
   /// Each add folds through float — the AoS combine summed float fields —
   /// preserving the force-lane precision invariant (batched_engine.hpp).
-  static void combine(Buffer& acc, const Buffer& in) {
-    for (std::size_t i = 0; i < acc.size(); ++i) {
+  static void combine(Buffer& acc, const Buffer& in) { combine_range(acc, in, 0, acc.size()); }
+
+  /// Element-range form of combine: folds elements [lo, hi) only. Elements
+  /// are independent, so the data plane's reduce can split a team's fold
+  /// across host threads by element range while each element still sees the
+  /// rows folded in the serial order — the float fold does not associate,
+  /// so that ORDER (not the chunking) is what the bitwise contract pins.
+  static void combine_range(Buffer& acc, const Buffer& in, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
       acc.fx[i] = static_cast<double>(static_cast<float>(acc.fx[i]) +
                                       static_cast<float>(in.fx[i]));
       acc.fy[i] = static_cast<double>(static_cast<float>(acc.fy[i]) +

@@ -9,14 +9,28 @@
 // payloads charge the modeled migration volume instead (counts are
 // steady-state under the uniform-density assumption).
 //
+// Host execution follows the data-plane convention (vmpi/primitives.hpp):
+// a null DataPlane keeps the legacy per-round behavior (fresh route lists,
+// keep-list rebuild); a non-null plane recycles the route lists from the
+// arena and compacts each resident block IN PLACE (copy_within/truncate),
+// so a steady-state round with no movers touches no particle data and
+// allocates nothing. Every vc charge is issued from particle counts before
+// (or independent of) the host movement, and the round structure —
+// including the `any` early-exit that gates the exchange permutes — is
+// decided by particle positions alone, so both arms produce bitwise
+// identical ledgers, traces, and trajectories (tests/test_data_plane.cpp).
+//
 // Shared by CaCutoff and the halo-exchange spatial baseline.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/cutoff_geometry.hpp"
 #include "core/policy.hpp"
 #include "decomp/partition.hpp"
+#include "vmpi/buffer_pool.hpp"
+#include "vmpi/primitives.hpp"
 #include "vmpi/virtual_comm.hpp"
 
 namespace canb::core {
@@ -35,11 +49,14 @@ inline int target_axis_coord(double px, double py, int axis, const CutoffGeometr
 /// Moves per-team lists one team along +/-axis (leaders only); receivers
 /// append to their resident block. Ring transport keeps the permutation
 /// total; under reflective boundaries boundary teams' outward lists are
-/// empty by construction, so the wrapped messages cost nothing.
+/// empty by construction, so the wrapped messages cost nothing. Receiving
+/// teams' resident blocks are disjoint, so the appends fan across the host
+/// pool when a plane is attached.
 template <class Policy>
 void exchange_lists(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeometry& geom,
                     std::vector<typename Policy::Buffer>& lists,
-                    std::vector<typename Policy::Buffer>& resident, int axis, int direction) {
+                    std::vector<typename Policy::Buffer>& resident, int axis, int direction,
+                    vmpi::DataPlane<typename Policy::Buffer>* plane) {
   const TeamOffset off = axis == 0 ? TeamOffset{-direction, 0, 0} : TeamOffset{0, -direction, 0};
   vc.permute_step(
       vmpi::Phase::Reassign,
@@ -53,52 +70,131 @@ void exchange_lists(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const Cutof
             Policy::bytes(lists[static_cast<std::size_t>(grid.col_of(src))]));
       },
       /*shift_phase=*/false);
-  for (int t = 0; t < geom.teams(); ++t) {
-    const int src_col = geom.wrap_team(t, off);
-    auto& incoming = lists[static_cast<std::size_t>(src_col)];
-    auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
-    blk.append(incoming);
+  vmpi::detail::HostPhaseTimer timer(vc, vmpi::Phase::Reassign);
+  auto body = [&](int b, int e) {
+    for (int t = b; t < e; ++t) {
+      const int src_col = geom.wrap_team(t, off);
+      auto& incoming = lists[static_cast<std::size_t>(src_col)];
+      auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
+      blk.append(incoming);
+    }
+  };
+  if (plane != nullptr) {
+    plane->for_chunks(geom.teams(), body);
+  } else {
+    body(0, geom.teams());
   }
+}
+
+/// Splits every team's resident block into stay / move-up / move-down
+/// along `axis`, filling plus/minus (one outgoing list per team). Returns
+/// whether any particle moved — the decision is a pure function of
+/// particle positions, identical in both host arms.
+///
+/// Legacy arm (plane == nullptr): rebuild a `keep` block and swap — the
+/// pre-data-plane behavior, kept as the property test's reference.
+/// Pooled arm: in-place compaction via copy_within/truncate — kept
+/// particles shift down over vacated slots (dst <= i always, so reads
+/// never see an overwritten slot), and a block with no movers is never
+/// touched at all. Teams are independent, so the split fans across the
+/// host pool.
+template <class Policy>
+bool split_teams(const vmpi::Grid2d& grid, const CutoffGeometry& geom, const particles::Box& box,
+                 std::vector<typename Policy::Buffer>& resident, int axis,
+                 std::vector<typename Policy::Buffer>& plus,
+                 std::vector<typename Policy::Buffer>& minus,
+                 vmpi::DataPlane<typename Policy::Buffer>* plane) {
+  using Buffer = typename Policy::Buffer;
+  const int q = geom.teams();
+  auto split_one = [&](int t) {
+    auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
+    auto& up = plus[static_cast<std::size_t>(t)];
+    auto& down = minus[static_cast<std::size_t>(t)];
+    const int here = axis == 0 ? t % geom.qx() : t / geom.qx();
+    const std::size_t n = blk.size();
+    // Lane partition: ownership reads only the position lanes, and the
+    // routed particles move lane-exactly via append_from (no wire-format
+    // round trip on a host-local split).
+    if constexpr (requires { blk.copy_within(std::size_t{}, std::size_t{}); }) {
+      if (plane != nullptr) {
+        std::size_t dst = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const int target = target_axis_coord(static_cast<double>(blk.px[i]),
+                                               static_cast<double>(blk.py[i]), axis, geom, box);
+          if (target > here) {
+            up.append_from(blk, i);
+          } else if (target < here) {
+            down.append_from(blk, i);
+          } else {
+            if (dst != i) blk.copy_within(dst, i);
+            ++dst;
+          }
+        }
+        blk.truncate(dst);
+        return;
+      }
+    }
+    Buffer keep;
+    keep.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int target = target_axis_coord(static_cast<double>(blk.px[i]),
+                                           static_cast<double>(blk.py[i]), axis, geom, box);
+      if (target > here) {
+        up.append_from(blk, i);
+      } else if (target < here) {
+        down.append_from(blk, i);
+      } else {
+        keep.append_from(blk, i);
+      }
+    }
+    blk.swap(keep);
+  };
+  if (plane != nullptr) {
+    plane->for_chunks(q, [&](int b, int e) {
+      for (int t = b; t < e; ++t) split_one(t);
+    });
+  } else {
+    for (int t = 0; t < q; ++t) split_one(t);
+  }
+  for (int t = 0; t < q; ++t) {
+    if (Policy::count(plus[static_cast<std::size_t>(t)]) != 0 ||
+        Policy::count(minus[static_cast<std::size_t>(t)]) != 0)
+      return true;
+  }
+  return false;
 }
 
 template <class Policy>
 void route_axis(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeometry& geom,
                 const particles::Box& box, std::vector<typename Policy::Buffer>& resident,
-                int axis) {
+                int axis, vmpi::DataPlane<typename Policy::Buffer>* plane) {
   using Buffer = typename Policy::Buffer;
   const int q = geom.teams();
   const int limit = (axis == 0 ? geom.qx() : geom.qy()) + 1;
   for (int round = 0; round < limit; ++round) {
-    std::vector<Buffer> plus(static_cast<std::size_t>(q));
-    std::vector<Buffer> minus(static_cast<std::size_t>(q));
+    std::vector<Buffer> plus;
+    std::vector<Buffer> minus;
     bool any = false;
-    for (int t = 0; t < q; ++t) {
-      auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
-      Buffer keep;
-      keep.reserve(blk.size());
-      const int here = axis == 0 ? t % geom.qx() : t / geom.qx();
-      // Lane partition: ownership reads only the position lanes, and the
-      // routed particles move lane-exactly via append_from (no wire-format
-      // round trip on a host-local split).
-      const std::size_t n = blk.size();
-      for (std::size_t i = 0; i < n; ++i) {
-        const int target = target_axis_coord(static_cast<double>(blk.px[i]),
-                                             static_cast<double>(blk.py[i]), axis, geom, box);
-        if (target > here) {
-          plus[static_cast<std::size_t>(t)].append_from(blk, i);
-          any = true;
-        } else if (target < here) {
-          minus[static_cast<std::size_t>(t)].append_from(blk, i);
-          any = true;
-        } else {
-          keep.append_from(blk, i);
-        }
+    {
+      vmpi::detail::HostPhaseTimer timer(vc, vmpi::Phase::Reassign);
+      if (plane != nullptr) {
+        plus = plane->pool.acquire_list(static_cast<std::size_t>(q));
+        minus = plane->pool.acquire_list(static_cast<std::size_t>(q));
+      } else {
+        plus.resize(static_cast<std::size_t>(q));
+        minus.resize(static_cast<std::size_t>(q));
       }
-      blk.swap(keep);
+      any = split_teams<Policy>(grid, geom, box, resident, axis, plus, minus, plane);
+    }
+    if (any) {
+      exchange_lists<Policy>(vc, grid, geom, plus, resident, axis, /*direction=*/+1, plane);
+      exchange_lists<Policy>(vc, grid, geom, minus, resident, axis, /*direction=*/-1, plane);
+    }
+    if (plane != nullptr) {
+      plane->pool.release_list(std::move(plus));
+      plane->pool.release_list(std::move(minus));
     }
     if (!any) break;
-    exchange_lists<Policy>(vc, grid, geom, plus, resident, axis, /*direction=*/+1);
-    exchange_lists<Policy>(vc, grid, geom, minus, resident, axis, /*direction=*/-1);
   }
 }
 
@@ -106,11 +202,14 @@ void route_axis(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeo
 
 /// Routes migrated particles home (real payloads) or charges the modeled
 /// migration cost (phantom payloads). Leaders exchange; replicas idle.
+/// `plane` selects the host execution arm (see file comment); outputs are
+/// bitwise identical either way.
 template <class Policy>
 void reassign_spatial(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid,
                       const CutoffGeometry& geom, const Policy& policy,
                       std::vector<typename Policy::Buffer>& resident,
-                      const machine::MachineModel& machine) {
+                      const machine::MachineModel& machine,
+                      vmpi::DataPlane<typename Policy::Buffer>* plane = nullptr) {
   if constexpr (Policy::kIsPhantom) {
     const double frac = policy.config().reassign_fraction;
     if (frac <= 0.0) return;  // empty payloads send no messages
@@ -130,9 +229,9 @@ void reassign_spatial(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid,
     // Real-payload routing supports the paper's evaluated dimensionalities
     // (particles carry 2D positions); 3D runs are phantom/schedule-level.
     CANB_REQUIRE(geom.dims() <= 2, "real-payload re-assignment supports 1D and 2D only");
-    detail::route_axis<Policy>(vc, grid, geom, policy.box(), resident, /*axis=*/0);
+    detail::route_axis<Policy>(vc, grid, geom, policy.box(), resident, /*axis=*/0, plane);
     if (geom.dims() == 2)
-      detail::route_axis<Policy>(vc, grid, geom, policy.box(), resident, /*axis=*/1);
+      detail::route_axis<Policy>(vc, grid, geom, policy.box(), resident, /*axis=*/1, plane);
   }
 }
 

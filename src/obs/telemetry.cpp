@@ -105,6 +105,15 @@ void Telemetry::phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase,
 
 void Telemetry::finalize(const vmpi::VirtualComm& vc) {
   if (!enabled()) return;
+  for (std::size_t i = 0; i < vmpi::kPhaseCount; ++i) {
+    if (host_phase_seconds_[i] == 0.0) continue;  // phase never moved host data
+    const auto phase = static_cast<vmpi::Phase>(i);
+    registry_
+        .gauge("canb_host_phase_seconds", {{"phase", vmpi::phase_name(phase)}},
+               "HOST wall seconds moving buffers for this phase (data plane; "
+               "not virtual time)")
+        .set(host_phase_seconds_[i]);
+  }
   for (int r = 0; r < vc.size(); ++r) {
     const Labels labels{{"rank", std::to_string(r)}};
     registry_
@@ -142,6 +151,11 @@ void Telemetry::on_collective(vmpi::Phase phase, bool is_reduce, int /*members*/
 void Telemetry::on_compute(int rank, double seconds) {
   // Pool threads hit distinct ranks only; the registry is not touched here.
   rank_compute_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+void Telemetry::on_host_phase(vmpi::Phase phase, double seconds) {
+  // Serial orchestration thread only (primitives report after joins).
+  host_phase_seconds_[static_cast<std::size_t>(phase)] += seconds;
 }
 
 }  // namespace canb::obs

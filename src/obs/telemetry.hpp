@@ -82,6 +82,7 @@ class Telemetry final : public vmpi::CommObserver {
   void on_collective(vmpi::Phase phase, bool is_reduce, int members, std::uint64_t bytes,
                      double seconds) override;
   void on_compute(int rank, double seconds) override;
+  void on_host_phase(vmpi::Phase phase, double seconds) override;
 
  private:
   struct PhaseSeries {
@@ -108,6 +109,11 @@ class Telemetry final : public vmpi::CommObserver {
   // Per-rank accumulators; disjoint writes from pool threads are safe.
   std::vector<double> rank_compute_;
   std::vector<double> rank_wait_;
+  /// HOST wall seconds per phase spent physically moving buffers (the data
+  /// plane's copy/fold/route time). Written from the serial orchestration
+  /// thread only (on_host_phase fires after parallel regions join);
+  /// published as gauges by finalize().
+  std::array<double, vmpi::kPhaseCount> host_phase_seconds_{};
   int step_ = -1;
 };
 

@@ -79,6 +79,66 @@ void SoaBlock::append(const SoaBlock& other) {
   aux1.insert(aux1.end(), other.aux1.begin(), other.aux1.end());
 }
 
+void SoaBlock::assign_from(const SoaBlock& other) {
+  px.assign(other.px.begin(), other.px.end());
+  py.assign(other.py.begin(), other.py.end());
+  vx.assign(other.vx.begin(), other.vx.end());
+  vy.assign(other.vy.begin(), other.vy.end());
+  fx.assign(other.fx.begin(), other.fx.end());
+  fy.assign(other.fy.begin(), other.fy.end());
+  mass.assign(other.mass.begin(), other.mass.end());
+  charge.assign(other.charge.begin(), other.charge.end());
+  id.assign(other.id.begin(), other.id.end());
+  aux0.assign(other.aux0.begin(), other.aux0.end());
+  aux1.assign(other.aux1.begin(), other.aux1.end());
+}
+
+void SoaBlock::assign_replica_from(const SoaBlock& other) {
+  px.assign(other.px.begin(), other.px.end());
+  py.assign(other.py.begin(), other.py.end());
+  fx.assign(other.fx.begin(), other.fx.end());
+  fy.assign(other.fy.begin(), other.fy.end());
+  mass.assign(other.mass.begin(), other.mass.end());
+  charge.assign(other.charge.begin(), other.charge.end());
+  id.assign(other.id.begin(), other.id.end());
+}
+
+void SoaBlock::assign_visitor_from(const SoaBlock& other) {
+  px.assign(other.px.begin(), other.px.end());
+  py.assign(other.py.begin(), other.py.end());
+  mass.assign(other.mass.begin(), other.mass.end());
+  charge.assign(other.charge.begin(), other.charge.end());
+  id.assign(other.id.begin(), other.id.end());
+}
+
+void SoaBlock::copy_within(std::size_t dst_i, std::size_t src_i) noexcept {
+  px[dst_i] = px[src_i];
+  py[dst_i] = py[src_i];
+  vx[dst_i] = vx[src_i];
+  vy[dst_i] = vy[src_i];
+  fx[dst_i] = fx[src_i];
+  fy[dst_i] = fy[src_i];
+  mass[dst_i] = mass[src_i];
+  charge[dst_i] = charge[src_i];
+  id[dst_i] = id[src_i];
+  aux0[dst_i] = aux0[src_i];
+  aux1[dst_i] = aux1[src_i];
+}
+
+void SoaBlock::truncate(std::size_t n) {
+  px.resize(n);
+  py.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  fx.resize(n);
+  fy.resize(n);
+  mass.resize(n);
+  charge.resize(n);
+  id.resize(n);
+  aux0.resize(n);
+  aux1.resize(n);
+}
+
 void SoaBlock::append_from(const SoaBlock& other, std::size_t i) {
   px.push_back(other.px[i]);
   py.push_back(other.py[i]);

@@ -57,6 +57,37 @@ struct SoaBlock {
   /// a materialized Particle — forces keep their double precision).
   void append_from(const SoaBlock& other, std::size_t i);
 
+  /// Capacity-preserving full copy: every lane is assigned in place, so a
+  /// destination that has once held a block of this size never reallocates
+  /// (unlike operator=, this is a documented guarantee the data plane's
+  /// zero-allocation test pins, not an implementation accident).
+  void assign_from(const SoaBlock& other);
+
+  /// Capacity-preserving copy of the lanes a broadcast REPLICA needs: the
+  /// kernel inputs (px/py/mass/charge/id) and the force accumulators fx/fy
+  /// (replicas accumulate partial forces that the team reduction folds
+  /// back). Velocity and aux lanes are left untouched — integrators only
+  /// ever run on team leaders, and the sweep's lane accessors expose no
+  /// velocity, so nothing can read them from a replica. Callers must treat
+  /// the destination as a replica from then on (size() is authoritative;
+  /// vx/vy/aux0/aux1 may be stale or short).
+  void assign_replica_from(const SoaBlock& other);
+
+  /// Capacity-preserving copy of the lanes a staged VISITOR block needs:
+  /// kernel inputs only (px/py/mass/charge/id). Visitor blocks are the
+  /// read-only source operand of the force sweeps — their force lanes are
+  /// never read or written — so the shift/skew staging copies skip 6 of the
+  /// 11 lanes. Serialized size still derives from size() alone, so ledger
+  /// bytes are unchanged by construction.
+  void assign_visitor_from(const SoaBlock& other);
+
+  /// Lane-exact in-block copy of element src_i onto dst_i (dst_i <= src_i
+  /// in the compaction loops, so reads never see an overwritten slot).
+  void copy_within(std::size_t dst_i, std::size_t src_i) noexcept;
+
+  /// Drops elements [n, size()) from every lane; capacity is kept.
+  void truncate(std::size_t n);
+
   /// Materializes element i as a wire-format Particle. Force and aux lanes
   /// round to float; the aux2/aux3 padding reads as zero.
   Particle get(std::size_t i) const noexcept;

@@ -43,6 +43,7 @@ template <particles::ForceKernel K>
 class Simulation {
  public:
   using Policy = core::RealPolicy<K>;
+  using Buffer = typename Policy::Buffer;
 
   struct Config {
     Method method = Method::CaAllPairs;
@@ -64,11 +65,26 @@ class Simulation {
     /// Observability level (obs/telemetry.hpp). Off by default; attaching
     /// telemetry never changes clocks, ledgers, or trajectories (tested).
     obs::ObsLevel obs = obs::ObsLevel::Off;
+    /// Host data plane (vmpi/buffer_pool.hpp): pooled staging buffers,
+    /// lane-subset copies, and parallel broadcast/reduce data movement.
+    /// Host execution only — ledgers, traces, and trajectories are bitwise
+    /// identical with it on or off (tested); off selects the legacy
+    /// serial/allocating host path.
+    bool pooled_data_plane = true;
   };
 
   Simulation(Config cfg, particles::Block initial)
       : cfg_(std::move(cfg)), engine_(make_engine(cfg_, std::move(initial))) {
     set_integrator(cfg_.integrator);
+    // One DataPlane per run: every engine that supports it shares the same
+    // buffer arena (and later the same host pool via set_host_pool). A
+    // disabled plane hands engines a nullptr, selecting the legacy path.
+    if (cfg_.pooled_data_plane) plane_ = std::make_shared<vmpi::DataPlane<Buffer>>();
+    std::visit(
+        [&](auto& e) {
+          if constexpr (requires { e.set_data_plane(plane_); }) e.set_data_plane(plane_);
+        },
+        engine_);
     if (cfg_.fault) {
       fault_model_ = std::make_unique<vmpi::PerturbationModel>(*cfg_.fault, cfg_.p);
       comm().set_fault(fault_model_.get());
@@ -268,6 +284,8 @@ class Simulation {
   std::unique_ptr<vmpi::PerturbationModel> fault_model_;
   /// Heap-owned for the same move-stability reason as the fault model.
   std::unique_ptr<obs::Telemetry> telemetry_;
+  /// The run-wide host data plane (null when pooled_data_plane is false).
+  std::shared_ptr<vmpi::DataPlane<Buffer>> plane_;
   int steps_ = 0;
 };
 

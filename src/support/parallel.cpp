@@ -33,7 +33,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       seen = generation_;
       task = tasks_[index];
     }
-    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    if (task.fn && task.begin < task.end) task.fn(task.ctx, task.begin, task.end);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_one();
@@ -41,11 +41,10 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
-void ThreadPool::parallel_for_chunks(int begin, int end,
-                                     const std::function<void(int, int)>& fn) {
+void ThreadPool::run_chunks(int begin, int end, RawChunkFn fn, void* ctx) {
   if (end <= begin) return;
   if (workers_.empty()) {
-    fn(begin, end);
+    fn(ctx, begin, end);
     return;
   }
   const int parts = static_cast<int>(workers_.size()) + 1;
@@ -57,15 +56,20 @@ void ThreadPool::parallel_for_chunks(int begin, int end,
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       const int b = std::min(end, next + static_cast<int>(i) * chunk);
       const int e = std::min(end, b + chunk);
-      tasks_[i] = {&fn, b, e};
+      tasks_[i] = {fn, ctx, b, e};
     }
     pending_ = workers_.size();
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(begin, std::min(end, next));
+  fn(ctx, begin, std::min(end, next));
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for_chunks(int begin, int end,
+                                     const std::function<void(int, int)>& fn) {
+  for_each_chunk(begin, end, [&fn](int b, int e) { fn(b, e); });
 }
 
 void ThreadPool::parallel_for(int begin, int end, const std::function<void(int)>& fn) {

@@ -17,6 +17,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace canb {
@@ -41,13 +42,33 @@ class ThreadPool {
   /// per-chunk setup out of the per-index body.
   void parallel_for_chunks(int begin, int end, const std::function<void(int, int)>& fn);
 
+  /// Allocation-free chunked dispatch: type-erases the callable as a plain
+  /// (function pointer, context) pair instead of a std::function, so hot
+  /// per-step call sites (the vmpi data plane, the engine force loops) pay
+  /// no heap allocation when the closure outgrows std::function's inline
+  /// buffer. The callable must outlive the (blocking) call — always true
+  /// for the stack lambdas these loops use.
+  template <class Fn>
+  void for_each_chunk(int begin, int end, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    run_chunks(
+        begin, end,
+        [](void* ctx, int b, int e) { (*static_cast<F*>(ctx))(b, e); },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
  private:
+  /// The erased form all chunked dispatch funnels through.
+  using RawChunkFn = void (*)(void* ctx, int begin, int end);
+
   struct Task {
-    const std::function<void(int, int)>* fn = nullptr;
+    RawChunkFn fn = nullptr;
+    void* ctx = nullptr;
     int begin = 0;
     int end = 0;
   };
 
+  void run_chunks(int begin, int end, RawChunkFn fn, void* ctx);
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;

@@ -41,6 +41,18 @@ class CommObserver {
 
   /// One compute charge (pairwise-interaction or integration work) on `rank`.
   virtual void on_compute(int rank, double seconds) = 0;
+
+  /// HOST wall seconds spent physically moving buffers for `phase`
+  /// (broadcast replica copies, staging copies, reduce folds, re-assignment
+  /// routing). Unlike every other hook this reports host time, not virtual
+  /// time — it exists so --obs-level=metrics can show where the host data
+  /// plane spends a step (docs/OBSERVABILITY.md). Fires from the serial
+  /// orchestration thread, after any parallel copy region has joined.
+  /// Default no-op so existing observers are unaffected.
+  virtual void on_host_phase(Phase phase, double seconds) {
+    (void)phase;
+    (void)seconds;
+  }
 };
 
 }  // namespace canb::vmpi

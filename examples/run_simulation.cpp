@@ -17,6 +17,11 @@
 //   --engine      scalar | batched host force sweep (virtual time unchanged)
 //   --data-plane  pooled | legacy host buffer movement (vmpi/buffer_pool.hpp);
 //                 host wall time only — outputs are bitwise identical
+//   --tune        off | auto | force host autotuning (core/host_tuner.hpp):
+//                 auto calibrates (or reuses --tune-cache) and installs the
+//                 fastest {engine, half-sweep, tile, SIMD backend, threads};
+//                 force always re-calibrates. Virtual time is unchanged.
+//   --tune-cache  path to the persisted tuning cache (docs/TUNING.md)
 //
 // Fault injection (deterministic; see vmpi/fault.hpp and docs/TESTING.md).
 // Passing any of these attaches a PerturbationModel to the virtual machine;
@@ -99,9 +104,10 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
-                      "threads", "integrator", "engine", "data-plane", "fault-seed",
-                      "straggler", "jitter", "drop-rate", "link-degrade", "obs-level",
-                      "metrics-out", "trace-out", "spans-csv"});
+                      "threads", "integrator", "engine", "data-plane", "tune",
+                      "tune-cache", "fault-seed", "straggler", "jitter", "drop-rate",
+                      "link-degrade", "obs-level", "metrics-out", "trace-out",
+                      "spans-csv"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -117,6 +123,14 @@ int main(int argc, char** argv) {
     const std::string dp = args.get("data-plane", "pooled");
     CANB_REQUIRE(dp == "pooled" || dp == "legacy", "unknown --data-plane (pooled | legacy)");
     cfg.pooled_data_plane = dp == "pooled";
+  }
+  {
+    const auto tune = sim::parse_tune_mode(args.get("tune", "off"));
+    CANB_REQUIRE(tune.has_value(), "unknown --tune (off | auto | force)");
+    cfg.tune = *tune;
+    cfg.tune_cache = args.get("tune-cache", "");
+    CANB_REQUIRE(cfg.tune_cache.empty() || cfg.tune != sim::TuneMode::Off,
+                 "--tune-cache needs --tune=auto or force");
   }
   const int n = static_cast<int>(args.get_int("n", 512));
   const int steps = static_cast<int>(args.get_int("steps", 50));
@@ -164,7 +178,19 @@ int main(int argc, char** argv) {
   }
 
   Sim simulation(cfg, std::move(initial));
+  if (const auto& tuned = simulation.tuned()) {
+    std::cout << "host tuner: engine=" << particles::engine_name(tuned->engine)
+              << " half-sweep=" << (tuned->tuning.half_sweep ? "on" : "off")
+              << " tile=" << tuned->tuning.tile
+              << " simd=" << particles::simd::backend_name(particles::simd::active())
+              << " threads=" << tuned->threads
+              << (tuned->from_cache ? " (cached)" : " (calibrated)") << "\n";
+  }
   int threads = static_cast<int>(args.get_int("threads", 1));
+  if (!args.has("threads") && simulation.tuned()) {
+    // No explicit --threads: a tuned run uses the calibrated thread count.
+    threads = simulation.tuned()->threads;
+  }
   if (threads == 0) {
     // --threads=0: use every hardware thread (minimum 1 when the runtime
     // cannot tell, which hardware_concurrency signals by returning 0).

@@ -214,8 +214,11 @@ class CaAllPairs {
         const bool same = carried.team == grid_.col_of(r);
         const auto stats =
             policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf, same);
-        // Per-rank ledger rows and clocks are disjoint: safe across threads.
+        // Per-rank ledger rows and clocks are disjoint: safe across threads
+        // (the telemetry sweep accumulators follow the same per-rank rule).
         vc_.charge_interactions(r, static_cast<double>(stats.examined));
+        if (telem_ != nullptr && telem_->enabled())
+          telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
       }
     };
     if (pool_) {

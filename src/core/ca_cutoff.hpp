@@ -264,7 +264,11 @@ class CaCutoff {
         }
         const auto stats = policy_.interact(resident_[static_cast<std::size_t>(r)],
                                             carried_[static_cast<std::size_t>(r)], rs.self);
+        // Per-rank ledger rows and telemetry sweep slots are disjoint:
+        // safe across pool threads.
         vc_.charge_interactions(r, static_cast<double>(stats.examined));
+        if (telem_ != nullptr && telem_->enabled())
+          telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
       }
     };
     if (pool_) {

@@ -1,0 +1,285 @@
+// Host-side sweep autotuning.
+//
+// core::Autotuner picks the replication factor c by evaluating candidate
+// schedules on the *virtual* machine model. HostTuner is its host-side
+// sibling: it picks the knobs that change only host wall time — kernel
+// engine, N3L half-sweep on/off, sweep tile width, SIMD backend, and host
+// thread count — by running a short calibration sweep on real particle
+// blocks and timing it. Nothing here reads or writes the virtual cost
+// model; applying any choice this tuner makes leaves ledgers, traces, and
+// trajectories exactly as documented in batched_engine.hpp (bitwise for
+// everything except the opt-in fast paths, which the tuner never enables).
+//
+// Decisions persist to a small JSON cache keyed by CPU + build
+// (TuningCache), so repeat runs skip the calibration; a key mismatch
+// silently discards the file rather than applying another machine's
+// numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "particles/batched_engine.hpp"
+#include "particles/init.hpp"
+#include "particles/kernels.hpp"
+#include "particles/simd/simd.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace canb::core {
+
+/// One persisted tuning decision for a (kernel, block size) on this
+/// machine + build.
+struct HostTuneEntry {
+  std::string kernel;
+  std::uint64_t n = 0;
+  std::string engine = "batched";
+  std::uint64_t tile = particles::BatchedEngine::kTileWidth;
+  bool half_sweep = true;
+  int threads = 1;
+  std::string backend = "scalar";
+  double pairs_per_sec = 0.0;  ///< measured throughput of the choice
+};
+
+/// The JSON tuning cache. Format (docs/TUNING.md):
+///   { "schema": "canb-host-tuning-v1", "machine": "...", "build": "...",
+///     "entries": [ { "kernel": ..., "n": ..., ... } ] }
+class TuningCache {
+ public:
+  static constexpr const char* kSchema = "canb-host-tuning-v1";
+
+  /// CPU identity: /proc/cpuinfo model name (or "unknown-cpu") plus the
+  /// widest SIMD backend, so a binary migrated to a narrower machine
+  /// re-tunes instead of requesting unsupported lanes.
+  static std::string machine_key();
+  /// Compiler identity (__VERSION__ + pointer width): a rebuild with a
+  /// different toolchain re-tunes.
+  static std::string build_key();
+
+  /// Loads `path`. A missing file, a parse problem, or a schema/machine/
+  /// build key mismatch all yield an EMPTY cache carrying the current
+  /// keys — stale or foreign entries are never applied.
+  static TuningCache load_or_empty(const std::string& path);
+
+  /// Writes the cache as JSON; false on I/O failure.
+  bool save(const std::string& path) const;
+
+  const HostTuneEntry* find(std::string_view kernel, std::uint64_t n) const;
+  /// Upserts by (kernel, n).
+  void put(HostTuneEntry e);
+
+  const std::vector<HostTuneEntry>& entries() const noexcept { return entries_; }
+  const std::string& machine() const noexcept { return machine_; }
+  const std::string& build() const noexcept { return build_; }
+
+ private:
+  std::string machine_ = machine_key();
+  std::string build_ = build_key();
+  std::vector<HostTuneEntry> entries_;
+};
+
+/// A tuning decision in applied form. The caller is responsible for
+/// installing it (policy config engine/tuning, simd::set_backend, host
+/// pool size) — the tuner itself restores all global state after
+/// calibration.
+struct HostTuneChoice {
+  particles::KernelEngine engine = particles::KernelEngine::Batched;
+  particles::SweepTuning tuning{};
+  particles::simd::Backend backend = particles::simd::Backend::Scalar;
+  int threads = 1;
+  double pairs_per_sec = 0.0;
+  bool from_cache = false;
+};
+
+HostTuneChoice choice_from_entry(const HostTuneEntry& e);
+HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, const HostTuneChoice& c);
+
+template <particles::ForceKernel K>
+class HostTuner {
+ public:
+  struct Config {
+    particles::Box box = particles::Box::reflective_2d(1.0);
+    K kernel{};
+    double cutoff = 0.0;
+    std::uint64_t n = 1024;        ///< representative per-block particle count
+    double sample_seconds = 0.01;  ///< min measured wall time per candidate
+    int max_threads = 0;           ///< thread candidates up to this (0 = hardware)
+    std::uint64_t seed = 1234;     ///< calibration particle placement
+  };
+
+  struct Candidate {
+    std::string name;  ///< e.g. "batched/half/tile128/avx2"
+    HostTuneChoice choice;
+  };
+
+  struct Result {
+    HostTuneChoice best;
+    /// Every sweep candidate measured, in trial order; empty when the
+    /// result was served from a cache.
+    std::vector<Candidate> candidates;
+  };
+
+  explicit HostTuner(Config cfg) : cfg_(std::move(cfg)) {
+    CANB_REQUIRE(cfg_.n >= 2, "host tuner needs at least 2 particles");
+    cfg_.box.validate();
+  }
+
+  /// Runs the calibration sweep. Global SIMD dispatch state is saved and
+  /// restored; the returned choice is NOT installed.
+  Result tune() const {
+    namespace simd = particles::simd;
+    const simd::Backend saved_backend = simd::active();
+    const bool saved_fast = simd::fast_rsqrt();
+    simd::set_fast_rsqrt(false);  // calibration never times the opt-in path
+
+    const int n = static_cast<int>(cfg_.n);
+    particles::Block block = particles::init_uniform(n, cfg_.box, cfg_.seed);
+    const double pairs = static_cast<double>(cfg_.n) * static_cast<double>(cfg_.n - 1);
+
+    Result result;
+    double best = -1.0;
+    const auto consider = [&](std::string name, HostTuneChoice choice) {
+      const double sec = time_sweep(block, choice);
+      choice.pairs_per_sec = pairs / sec;
+      if (best < 0.0 || choice.pairs_per_sec > best) {
+        best = choice.pairs_per_sec;
+        result.best = choice;
+      }
+      result.candidates.push_back({std::move(name), choice});
+    };
+
+    {
+      HostTuneChoice scalar;
+      scalar.engine = particles::KernelEngine::Scalar;
+      scalar.backend = simd::Backend::Scalar;
+      consider("scalar", scalar);
+    }
+    const std::size_t tiles[] = {32, particles::BatchedEngine::kTileWidth};
+    for (const bool half : {false, true}) {
+      for (const std::size_t tile : tiles) {
+        for (int b = 0; b <= static_cast<int>(simd::max_supported()); ++b) {
+          HostTuneChoice c;
+          c.engine = particles::KernelEngine::Batched;
+          c.tuning.half_sweep = half;
+          c.tuning.tile = tile;
+          c.backend = static_cast<simd::Backend>(b);
+          consider(std::string("batched/") + (half ? "half" : "full") + "/tile" +
+                       std::to_string(tile) + "/" + simd::backend_name(c.backend),
+                   c);
+        }
+      }
+    }
+
+    result.best.threads = tune_threads(result.best);
+
+    simd::set_backend(saved_backend);
+    simd::set_fast_rsqrt(saved_fast);
+    return result;
+  }
+
+  /// Cache-aware entry point. When `force` is false and the cache holds an
+  /// entry for (kernel, n), that entry is returned without measuring;
+  /// otherwise a calibration runs and its winner is upserted into `cache`
+  /// (the caller persists it with TuningCache::save).
+  Result tune_with_cache(TuningCache& cache, bool force = false) const {
+    if (!force) {
+      if (const HostTuneEntry* e = cache.find(K::kName, cfg_.n)) {
+        Result r;
+        r.best = choice_from_entry(*e);
+        return r;
+      }
+    }
+    Result r = tune();
+    cache.put(entry_from_choice(K::kName, cfg_.n, r.best));
+    return r;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Seconds per self-sweep of the calibration block under `choice`
+  /// (backend installed for the duration of the measurement).
+  double time_sweep(particles::Block& block, const HostTuneChoice& choice) const {
+    particles::simd::set_backend(choice.backend);
+    particles::SweepScratch scratch;
+    const auto call = [&] {
+      particles::accumulate_forces_with(
+          choice.engine, std::span<particles::Particle>(block),
+          std::span<const particles::Particle>(block), cfg_.box, cfg_.kernel, cfg_.cutoff,
+          &scratch, choice.tuning);
+    };
+    return time_call(call, cfg_.sample_seconds);
+  }
+
+  /// Picks the host thread count: R independent block sweeps (the engines'
+  /// per-rank loop shape) across a pool of T threads, for T in powers of
+  /// two up to max_threads. Serial wins on a serial machine.
+  int tune_threads(const HostTuneChoice& sweep_choice) const {
+    int hw = cfg_.max_threads;
+    if (hw <= 0) hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 1) return 1;
+    particles::simd::set_backend(sweep_choice.backend);
+
+    const int blocks = std::max(4, 2 * hw);
+    // Smaller per-rank blocks keep the thread calibration cheap; relative
+    // scaling, not absolute throughput, is what this measurement ranks.
+    const int bn = static_cast<int>(std::min<std::uint64_t>(cfg_.n, 512));
+    std::vector<particles::Block> ranks;
+    std::vector<particles::SweepScratch> scratch(static_cast<std::size_t>(blocks));
+    ranks.reserve(static_cast<std::size_t>(blocks));
+    for (int r = 0; r < blocks; ++r)
+      ranks.push_back(particles::init_uniform(bn, cfg_.box, cfg_.seed + 7919u * (r + 1)));
+
+    int best_t = 1;
+    double best_rate = -1.0;
+    for (int t = 1; t <= hw; t = t < hw && 2 * t > hw ? hw : 2 * t) {
+      ThreadPool pool(t);
+      const auto call = [&] {
+        pool.parallel_for_chunks(0, blocks, [&](int b, int e) {
+          for (int r = b; r < e; ++r) {
+            auto& blk = ranks[static_cast<std::size_t>(r)];
+            particles::accumulate_forces_with(
+                sweep_choice.engine, std::span<particles::Particle>(blk),
+                std::span<const particles::Particle>(blk), cfg_.box, cfg_.kernel,
+                cfg_.cutoff, &scratch[static_cast<std::size_t>(r)], sweep_choice.tuning);
+          }
+        });
+      };
+      const double sec = time_call(call, cfg_.sample_seconds);
+      const double rate = 1.0 / sec;
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_t = t;
+      }
+    }
+    return best_t;
+  }
+
+  template <class F>
+  static double time_call(const F& f, double min_seconds) {
+    f();  // warm caches and code
+    int reps = 1;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < reps; ++i) f();
+      const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (dt >= min_seconds) return dt / reps;
+      const int grown = dt <= 0.0 ? reps * 8
+                                  : static_cast<int>(static_cast<double>(reps) *
+                                                     (min_seconds / dt) * 1.25) +
+                                        1;
+      reps = std::min(grown, reps * 16);
+    }
+  }
+
+  Config cfg_;
+};
+
+}  // namespace canb::core

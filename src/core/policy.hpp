@@ -30,9 +30,14 @@
 
 namespace canb::core {
 
-/// Pairwise-interaction work units reported by a policy.
+/// Pairwise-interaction work units reported by a policy. Only `examined`
+/// feeds the cost model; `computed`/`half_sweep` are host-side telemetry
+/// (pair evaluations the host actually executed, and whether the N3L
+/// half-sweep path ran).
 struct InteractStats {
   std::uint64_t examined = 0;
+  std::uint64_t computed = 0;
+  bool half_sweep = false;
 };
 
 /// Flop weight of integrating one particle for one step (charged via
@@ -91,6 +96,9 @@ class RealPolicy {
     /// the examined counts charged to the ledger are identical, so virtual
     /// clocks, messages, and words do not depend on this choice.
     particles::KernelEngine engine = particles::KernelEngine::Scalar;
+    /// Host-side sweep tuning (N3L half-sweeps, tile width). Same rule as
+    /// `engine`: host wall time only, never the ledger.
+    particles::SweepTuning tuning{};
   };
 
   explicit RealPolicy(Config cfg) : cfg_(std::move(cfg)) { cfg_.box.validate(); }
@@ -98,10 +106,11 @@ class RealPolicy {
   static std::uint64_t bytes(const Buffer& b) noexcept { return particles::block_bytes(b); }
   static std::uint64_t count(const Buffer& b) noexcept { return b.size(); }
 
-  InteractStats interact(Buffer& resident, const Buffer& visitor, bool /*same_block*/) const {
+  InteractStats interact(Buffer& resident, const Buffer& visitor, bool same_block) const {
     const auto stats = particles::interact_blocks(cfg_.engine, resident, visitor, cfg_.box,
-                                                  cfg_.kernel, cfg_.cutoff);
-    return {stats.examined};
+                                                  cfg_.kernel, cfg_.cutoff, same_block,
+                                                  cfg_.tuning);
+    return {stats.examined, stats.computed, stats.half_sweep};
   }
 
   /// Sums force accumulators of `in` into `acc` (team reduction combine).

@@ -36,6 +36,10 @@ void Telemetry::attach(vmpi::VirtualComm& vc) {
   const auto p = static_cast<std::size_t>(vc.size());
   rank_compute_.assign(p, 0.0);
   rank_wait_.assign(p, 0.0);
+  sweep_examined_.assign(p, 0.0);
+  sweep_computed_.assign(p, 0.0);
+  sweep_calls_.assign(p, 0.0);
+  sweep_half_calls_.assign(p, 0.0);
   steps_ = &registry_.counter("canb_steps_total", {}, "timesteps executed");
 }
 
@@ -114,6 +118,37 @@ void Telemetry::finalize(const vmpi::VirtualComm& vc) {
                "not virtual time)")
         .set(host_phase_seconds_[i]);
   }
+  double sweep_pairs = 0.0;
+  double sweep_computed = 0.0;
+  double sweep_calls = 0.0;
+  double sweep_half = 0.0;
+  for (std::size_t r = 0; r < sweep_examined_.size(); ++r) {
+    sweep_pairs += sweep_examined_[r];
+    sweep_computed += sweep_computed_[r];
+    sweep_calls += sweep_calls_[r];
+    sweep_half += sweep_half_calls_[r];
+  }
+  if (sweep_calls > 0.0) {
+    registry_
+        .counter("canb_sweep_pairs_total", {},
+                 "directed interaction pairs accounted by force sweeps (ledger unit)")
+        .inc(static_cast<std::uint64_t>(sweep_pairs));
+    registry_
+        .counter("canb_sweep_pairs_computed_total", {},
+                 "pair evaluations actually executed on the host (an N3L half-sweep "
+                 "computes about half of canb_sweep_pairs_total)")
+        .inc(static_cast<std::uint64_t>(sweep_computed));
+    registry_
+        .gauge("canb_sweep_half_ratio", {},
+               "fraction of sweep calls that took the N3L half-sweep path")
+        .set(sweep_half / sweep_calls);
+  }
+  if (!sweep_backend_.empty()) {
+    registry_
+        .gauge("canb_sweep_backend", {{"backend", sweep_backend_}},
+               "SIMD backend the sweep lane pipelines dispatched to (value 1)")
+        .set(1.0);
+  }
   for (int r = 0; r < vc.size(); ++r) {
     const Labels labels{{"rank", std::to_string(r)}};
     registry_
@@ -146,6 +181,17 @@ void Telemetry::on_collective(vmpi::Phase phase, bool is_reduce, int /*members*/
   auto& s = series_for(phase);
   (is_reduce ? s.reduces : s.bcasts)->inc();
   s.bytes_total->inc(bytes);
+}
+
+void Telemetry::on_sweep(int rank, std::uint64_t examined, std::uint64_t computed,
+                         bool half_sweep) noexcept {
+  // Pool threads hit distinct ranks only; the registry is not touched here.
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= sweep_examined_.size()) return;  // not attached
+  sweep_examined_[r] += static_cast<double>(examined);
+  sweep_computed_[r] += static_cast<double>(computed);
+  sweep_calls_[r] += 1.0;
+  if (half_sweep) sweep_half_calls_[r] += 1.0;
 }
 
 void Telemetry::on_compute(int rank, double seconds) {

@@ -66,6 +66,20 @@ class Telemetry final : public vmpi::CommObserver {
   /// schedule point (e.g. "shift", "reduce").
   void phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase, std::string label);
 
+  /// CA engines call this next to each ledger charge with the sweep's
+  /// InteractionCount fields. Threading mirrors on_compute: pool workers
+  /// hit distinct ranks only, so the per-rank accumulators are race-free.
+  /// `examined` is the ledger unit; `computed` counts pair evaluations the
+  /// host actually executed (an N3L half-sweep computes ~half of
+  /// `examined`); `half_sweep` marks that the half-sweep path ran.
+  void on_sweep(int rank, std::uint64_t examined, std::uint64_t computed,
+                bool half_sweep) noexcept;
+
+  /// Names the SIMD backend the sweeps dispatched to; published by
+  /// finalize() as canb_sweep_backend{backend=...}. Set by the Simulation
+  /// (telemetry itself stays independent of the particles library).
+  void set_sweep_backend(std::string name) { sweep_backend_ = std::move(name); }
+
   /// Folds per-rank accumulators (compute seconds, wait seconds, final
   /// clocks) into registry gauges. Call once after the run.
   void finalize(const vmpi::VirtualComm& vc);
@@ -109,6 +123,12 @@ class Telemetry final : public vmpi::CommObserver {
   // Per-rank accumulators; disjoint writes from pool threads are safe.
   std::vector<double> rank_compute_;
   std::vector<double> rank_wait_;
+  // Per-rank sweep accounting (same threading rule as rank_compute_).
+  std::vector<double> sweep_examined_;
+  std::vector<double> sweep_computed_;
+  std::vector<double> sweep_calls_;
+  std::vector<double> sweep_half_calls_;
+  std::string sweep_backend_;
   /// HOST wall seconds per phase spent physically moving buffers (the data
   /// plane's copy/fold/route time). Written from the serial orchestration
   /// thread only (on_host_phase fires after parallel regions join);

@@ -19,6 +19,7 @@
 
 #include "particles/box.hpp"
 #include "particles/particle.hpp"
+#include "particles/simd/simd.hpp"
 
 namespace canb::particles {
 
@@ -53,18 +54,40 @@ concept ForceKernel = requires(const K k, const Particle& a, const Particle& b, 
   { K::kCoupling } -> std::convertible_to<Coupling>;
 };
 
-/// Kernels whose magnitude needs a libm call (exp) can additionally provide
+/// Kernels whose magnitude dominates the sweep (a libm call, or a pipeline
+/// with an explicit SIMD implementation) can additionally provide
 /// `magnitude_lanes`, evaluating a whole lane batch at once. The batched
 /// engine prefers it when present: a libm call in the middle of the wide
 /// masked loop clobbers every caller-saved vector register, spilling all
 /// the loop invariants each iteration — hoisting the call into its own
-/// tight loop over a scratch buffer avoids that and lets the surrounding
-/// arithmetic vectorize. Lane arithmetic must match `magnitude` exactly.
+/// tight loop over a scratch buffer avoids that and lets it dispatch to
+/// the simd:: backends. Lane arithmetic must match `magnitude` bitwise
+/// when the exact simd paths are active (the default); opt-in fast paths
+/// (simd::set_fast_rsqrt) may differ within the tolerances documented in
+/// simd/simd.hpp.
 template <class K>
 concept LaneBatchedKernel =
     ForceKernel<K> && requires(const K k, const double* in, double* out, std::size_t n) {
       { k.magnitude_lanes(in, in, out, n) };
     };
+
+namespace detail {
+// Thin forwarders into the simd entry points. The batched engine hands
+// these partially-filled stack tiles (only the first n lanes are written,
+// and only the first n are read); GCC's -Wmaybe-uninitialized cannot see
+// through the extern call and misfires, so the suppression lives here, at
+// the call site the diagnostic is attributed to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+inline void inv_cube_forward(const double* r2, const double* cpl, double* out, std::size_t n,
+                             double scale, double soft2) noexcept {
+  simd::inv_cube_lanes(r2, cpl, out, n, scale, soft2);
+}
+inline void exp_forward(const double* x, double* out, std::size_t n) noexcept {
+  simd::exp_lanes(x, out, n);
+}
+#pragma GCC diagnostic pop
+}  // namespace detail
 
 /// The coupling factor `magnitude` expects for a given pair.
 template <class K>
@@ -84,12 +107,19 @@ struct InverseSquareRepulsion {
   double softening = 1e-3;  ///< Plummer softening keeps close pairs finite
 
   static constexpr Coupling kCoupling = Coupling::Charge;
+  static constexpr const char* kName = "inverse_square";
 
   /// Magnitude c/d2 along the unit vector (dx,dy)/r — i.e. c/d2^{3/2} * d.
   double magnitude(double r2, double coupling) const noexcept {
     const double c = strength * coupling;
     const double d2 = r2 + softening * softening;
     return c / (d2 * std::sqrt(d2));
+  }
+  /// SIMD-dispatched inverse-cube lanes; bitwise equal to `magnitude` on
+  /// every backend unless the opt-in fast rsqrt path is enabled.
+  void magnitude_lanes(const double* r2, const double* coupling, double* out,
+                       std::size_t n) const noexcept {
+    detail::inv_cube_forward(r2, coupling, out, n, strength, softening * softening);
   }
   PairForce force(double dx, double dy, double r2, const Particle& a,
                   const Particle& b) const noexcept {
@@ -108,11 +138,18 @@ struct Gravity {
   double softening = 1e-3;
 
   static constexpr Coupling kCoupling = Coupling::Mass;
+  static constexpr const char* kName = "gravity";
 
   double magnitude(double r2, double coupling) const noexcept {
     const double c = -g * coupling;
     const double d2 = r2 + softening * softening;
     return c / (d2 * std::sqrt(d2));
+  }
+  /// SIMD-dispatched inverse-cube lanes; bitwise equal to `magnitude` on
+  /// every backend unless the opt-in fast rsqrt path is enabled.
+  void magnitude_lanes(const double* r2, const double* coupling, double* out,
+                       std::size_t n) const noexcept {
+    detail::inv_cube_forward(r2, coupling, out, n, -g, softening * softening);
   }
   PairForce force(double dx, double dy, double r2, const Particle& a,
                   const Particle& b) const noexcept {
@@ -131,6 +168,7 @@ struct LennardJones {
   double sigma = 1.0;
 
   static constexpr Coupling kCoupling = Coupling::None;
+  static constexpr const char* kName = "lennard_jones";
 
   double magnitude(double r2, double /*coupling*/) const noexcept {
     const double r2g = r2 + kMinR2;
@@ -158,6 +196,7 @@ struct Yukawa {
   double softening = 1e-3;
 
   static constexpr Coupling kCoupling = Coupling::Charge;
+  static constexpr const char* kName = "yukawa";
 
   /// d/dr [ c e^{-r/L} / r ] gives magnitude c e^{-r/L} (1/r^2 + 1/(L r)).
   double magnitude(double r2, double coupling) const noexcept {
@@ -168,12 +207,13 @@ struct Yukawa {
     return c * screen * (1.0 / d2 + 1.0 / (screening_length * r)) / r;
   }
   /// Lane-batched `magnitude`: same arithmetic, with the exp hoisted into
-  /// its own loop so the other two loops auto-vectorize.
+  /// the SIMD-dispatched exp_lanes (<= 5e-14 relative vs std::exp, the
+  /// same on every backend) so it stops serializing the sweep on libm.
   void magnitude_lanes(const double* r2, const double* coupling, double* out,
                        std::size_t n) const noexcept {
     for (std::size_t i = 0; i < n; ++i)
       out[i] = -std::sqrt(r2[i] + softening * softening) / screening_length;
-    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(out[i]);
+    detail::exp_forward(out, out, n);
     for (std::size_t i = 0; i < n; ++i) {
       const double c = strength * coupling[i];
       const double d2 = r2[i] + softening * softening;
@@ -201,6 +241,7 @@ struct Morse {
   double r0 = 0.5;         ///< equilibrium distance
 
   static constexpr Coupling kCoupling = Coupling::None;
+  static constexpr const char* kName = "morse";
 
   /// -dU/dr = -2 D a e (1 - e); positive magnitude pushes apart (r < r0).
   double magnitude(double r2, double /*coupling*/) const noexcept {
@@ -209,11 +250,12 @@ struct Morse {
     return -2.0 * depth * width * e * (1.0 - e) / r;
   }
   /// Lane-batched `magnitude`: same arithmetic, with the exp hoisted into
-  /// its own loop so the other two loops auto-vectorize.
+  /// the SIMD-dispatched exp_lanes (<= 5e-14 relative vs std::exp, the
+  /// same on every backend) so it stops serializing the sweep on libm.
   void magnitude_lanes(const double* r2, const double* /*coupling*/, double* out,
                        std::size_t n) const noexcept {
     for (std::size_t i = 0; i < n; ++i) out[i] = -width * (std::sqrt(r2[i] + kMinR2) - r0);
-    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(out[i]);
+    detail::exp_forward(out, out, n);
     for (std::size_t i = 0; i < n; ++i) {
       const double e = out[i];
       out[i] = -2.0 * depth * width * e * (1.0 - e) / std::sqrt(r2[i] + kMinR2);
@@ -236,6 +278,7 @@ struct SoftSphere {
   double radius = 0.05;
 
   static constexpr Coupling kCoupling = Coupling::None;
+  static constexpr const char* kName = "soft_sphere";
 
   /// Branch-free contact force: std::max clamps the overlap to zero at or
   /// beyond the contact radius, and the kMinR2 guard keeps coincident
@@ -258,9 +301,20 @@ struct SoftSphere {
 };
 
 /// Statistics from one block-block interaction sweep.
+///
+/// `examined` is the cost-model unit and is what the vmpi ledger is
+/// charged from: it counts pairs *visited by the algorithm*, and is
+/// identical whether the host executes a full sweep or an N3L half-sweep
+/// (a half-sweep visits each unordered pair once but accounts for both
+/// directed pairs). `computed` is the host-side work metric: directed
+/// pair interactions actually evaluated, so a half-sweep reports roughly
+/// half of `examined`. Telemetry exposes both; the cost model never
+/// reads `computed`.
 struct InteractionCount {
   std::uint64_t examined = 0;       ///< pairs visited (cost-model unit)
   std::uint64_t within_cutoff = 0;  ///< pairs that actually contributed
+  std::uint64_t computed = 0;       ///< pair evaluations executed on the host
+  bool half_sweep = false;          ///< whether the N3L half-sweep path ran
 };
 
 /// Accumulates forces on `targets` from `sources`. Self-pairs (same id) are
@@ -282,6 +336,7 @@ InteractionCount accumulate_forces(std::span<Particle> targets, std::span<const 
       const double r2 = dx * dx + dy * dy;
       if (cutoff2 > 0.0 && r2 > cutoff2) continue;
       ++count.within_cutoff;
+      ++count.computed;
       const PairForce f = kernel.force(dx, dy, r2, t, s);
       ax += f.fx;
       ay += f.fy;

@@ -3,15 +3,19 @@
 // used by the examples; benches and tests drive the engines directly.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
 #include "core/ca_all_pairs.hpp"
 #include "core/ca_cutoff.hpp"
+#include "core/host_tuner.hpp"
 #include "core/midpoint.hpp"
 #include "core/spatial_halo.hpp"
 #include "decomp/force_decomposition.hpp"
@@ -19,6 +23,7 @@
 #include "decomp/particle_decomposition.hpp"
 #include "obs/telemetry.hpp"
 #include "particles/init.hpp"
+#include "particles/simd/simd.hpp"
 #include "sim/report.hpp"
 #include "support/assert.hpp"
 
@@ -35,6 +40,30 @@ enum class Method {
 };
 
 const char* method_name(Method m) noexcept;
+
+/// Host autotuning mode (core/host_tuner.hpp).
+enum class TuneMode {
+  Off,    ///< apply Config::engine / Config::sweep exactly as given
+  Auto,   ///< use a cached decision when present, calibrate on a miss
+  Force,  ///< always re-calibrate and overwrite the cache entry
+};
+
+inline const char* tune_mode_name(TuneMode m) noexcept {
+  switch (m) {
+    case TuneMode::Off: return "off";
+    case TuneMode::Auto: return "auto";
+    case TuneMode::Force: return "force";
+  }
+  return "?";
+}
+
+/// Parses "off" | "auto" | "force"; nullopt on anything else.
+inline std::optional<TuneMode> parse_tune_mode(std::string_view name) noexcept {
+  if (name == "off") return TuneMode::Off;
+  if (name == "auto") return TuneMode::Auto;
+  if (name == "force") return TuneMode::Force;
+  return std::nullopt;
+}
 
 /// Splits q into the most square qx-by-qy factorization (qx <= qy).
 std::pair<int, int> near_square_factors(int q);
@@ -58,6 +87,19 @@ class Simulation {
     /// Host-side force sweep implementation (see particles/batched_engine.hpp).
     /// Affects host wall time only: the virtual-time ledger is engine-invariant.
     particles::KernelEngine engine = particles::KernelEngine::Scalar;
+    /// Sweep knobs for the batched engine (N3L half-sweep, tile width).
+    /// Host wall time only, like `engine`; overwritten by the tuner when
+    /// `tune` is not Off.
+    particles::SweepTuning sweep{};
+    /// Host autotuning. Off leaves `engine`/`sweep`/SIMD dispatch exactly
+    /// as configured; Auto/Force run core::HostTuner at construction and
+    /// install its choice (engine, sweep knobs, SIMD backend). The tuned
+    /// thread count is reported via tuned() — attaching a pool is still
+    /// the caller's call (set_host_pool).
+    TuneMode tune = TuneMode::Off;
+    /// Tuning-cache path (docs/TUNING.md). Empty = calibrate in-process
+    /// without persistence. Ignored when `tune` is Off.
+    std::string tune_cache;
     /// Fault/straggler injection (vmpi/fault.hpp). Disengaged by default;
     /// a config with all rates zero is attached but inert (bitwise-identical
     /// clocks, ledgers, and trajectories — tested).
@@ -74,7 +116,9 @@ class Simulation {
   };
 
   Simulation(Config cfg, particles::Block initial)
-      : cfg_(std::move(cfg)), engine_(make_engine(cfg_, std::move(initial))) {
+      : cfg_(std::move(cfg)),
+        tuned_(maybe_tune(cfg_, initial.size())),
+        engine_(make_engine(cfg_, std::move(initial))) {
     set_integrator(cfg_.integrator);
     // One DataPlane per run: every engine that supports it shares the same
     // buffer arena (and later the same host pool via set_host_pool). A
@@ -102,6 +146,10 @@ class Simulation {
             }
           },
           engine_);
+      // Record which SIMD backend the host sweeps dispatch to (canb_obs
+      // does not link canb_particles, so the simulation reports it).
+      telemetry_->set_sweep_backend(
+          particles::simd::backend_name(particles::simd::active()));
     }
   }
 
@@ -150,6 +198,11 @@ class Simulation {
   /// The attached fault model, or nullptr when fault injection is off.
   const vmpi::PerturbationModel* fault_model() const noexcept { return fault_model_.get(); }
 
+  /// The host-tuner decision applied at construction, or nullopt when
+  /// tuning was off (or the blocks were too small to calibrate). The
+  /// tuned thread count is advisory — pass it to set_host_pool to use it.
+  const std::optional<core::HostTuneChoice>& tuned() const noexcept { return tuned_; }
+
   /// The attached telemetry, or nullptr when observability is off.
   obs::Telemetry* telemetry() noexcept { return telemetry_.get(); }
   const obs::Telemetry* telemetry() const noexcept { return telemetry_.get(); }
@@ -182,9 +235,44 @@ class Simulation {
   using EngineVariant =
       std::variant<CaAllPairsT, CaCutoffT, SpatialHaloT, MidpointT, RingT, AllGatherT, ForceT>;
 
+  /// Runs the host tuner when Config::tune asks for it and installs the
+  /// winning choice into `cfg` (engine, sweep knobs) and the process SIMD
+  /// dispatch. Runs before make_engine so the policy sees the tuned config.
+  static std::optional<core::HostTuneChoice> maybe_tune(Config& cfg, std::size_t total_n) {
+    if (cfg.tune == TuneMode::Off) return std::nullopt;
+    // Calibrate at the per-rank resident block size the sweeps will see.
+    int q = cfg.p;
+    if (cfg.method == Method::CaAllPairs || cfg.method == Method::CaCutoff)
+      q = std::max(1, cfg.p / std::max(1, cfg.c));
+    const std::uint64_t bn = static_cast<std::uint64_t>(total_n) /
+                             static_cast<std::uint64_t>(std::max(1, q));
+    if (bn < 2) return std::nullopt;  // nothing worth calibrating
+
+    typename core::HostTuner<K>::Config tcfg;
+    tcfg.box = cfg.box;
+    tcfg.kernel = cfg.kernel;
+    tcfg.cutoff = cfg.cutoff;
+    tcfg.n = bn;
+    core::HostTuner<K> tuner(std::move(tcfg));
+
+    typename core::HostTuner<K>::Result result;
+    if (cfg.tune_cache.empty()) {
+      result = tuner.tune();
+    } else {
+      core::TuningCache cache = core::TuningCache::load_or_empty(cfg.tune_cache);
+      result = tuner.tune_with_cache(cache, cfg.tune == TuneMode::Force);
+      if (!result.candidates.empty()) cache.save(cfg.tune_cache);  // measured fresh
+    }
+    cfg.engine = result.best.engine;
+    cfg.sweep = result.best.tuning;
+    particles::simd::set_backend(result.best.backend);
+    return result.best;
+  }
+
   static EngineVariant make_engine(const Config& cfg, particles::Block initial) {
     cfg.box.validate();
-    Policy policy(typename Policy::Config{cfg.box, cfg.kernel, cfg.cutoff, cfg.dt, cfg.engine});
+    Policy policy(typename Policy::Config{cfg.box, cfg.kernel, cfg.cutoff, cfg.dt, cfg.engine,
+                                          cfg.sweep});
     switch (cfg.method) {
       case Method::CaAllPairs: {
         const int q = cfg.p / cfg.c;
@@ -278,6 +366,9 @@ class Simulation {
   }
 
   Config cfg_;
+  /// Declared before engine_: maybe_tune edits cfg_ (and the SIMD dispatch)
+  /// before make_engine constructs the policy from it.
+  std::optional<core::HostTuneChoice> tuned_;
   EngineVariant engine_;
   /// Owned here (heap) so the pointer held by the engine's VirtualComm
   /// stays valid if the Simulation object itself is moved.

@@ -43,6 +43,14 @@ struct Case {
   /// the legacy full-copy host path. Virtual ledgers are identical; only
   /// host wall time moves.
   bool pooled = true;
+  /// Initial particle distribution: "uniform", "plummer" (dense core),
+  /// or "ring" (annulus). Clustered inputs skew the per-cell interaction
+  /// histogram — the workload the stealing scheduler exists for.
+  std::string dist = "uniform";
+  /// Task scheduler for the attached pool; trajectories are bitwise
+  /// identical across modes, only host wall time moves.
+  SchedMode sched = SchedMode::kStatic;
+  int steal_grain = 1;
 };
 
 struct Result {
@@ -67,6 +75,12 @@ sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs) {
   cfg.dt = 1e-4;
   cfg.engine = cs.engine;
   cfg.pooled_data_plane = cs.pooled;
+  cfg.sched = cs.sched;
+  cfg.steal_grain = cs.steal_grain;
+  if (cs.dist == "plummer")
+    return {cfg, particles::init_plummer(cs.n, cfg.box, 0.1, 2013, 0.01)};
+  if (cs.dist == "ring")
+    return {cfg, particles::init_ring(cs.n, cfg.box, 0.35, 0.05, 2013, 0.01)};
   return {cfg, particles::init_uniform(cs.n, cfg.box, 2013, 0.01)};
 }
 
@@ -114,6 +128,8 @@ void write_json(const std::string& path, const std::vector<Result>& rs, double m
           .kv("engine", engine_label(r.cfg.engine))
           .kv("threads", r.cfg.threads)
           .kv("data_plane", r.cfg.pooled ? "pooled" : "legacy")
+          .kv("dist", r.cfg.dist)
+          .kv("sched", to_string(r.cfg.sched))
           .kv("steps_per_sec", r.steps_per_sec);
     });
   }
@@ -151,15 +167,30 @@ int main(int argc, char** argv) {
           {sim::Method::CaAllPairs, n, 64, 8, 0.0, particles::KernelEngine::Batched, 1, pooled});
     }
   }
+  // Clustered arm: Plummer core / ring annulus over the cutoff schedule,
+  // static vs stealing back-to-back from the same process, so the recorded
+  // ratio is an honest same-host comparison. Clustered inputs make per-cell
+  // interaction counts wildly non-uniform — the static partition load-
+  // imbalances and stealing rebalances (on multi-core hosts; a 1-core host
+  // records the scheduling overhead honestly instead).
+  for (const std::string& dist : {std::string("plummer"), std::string("ring")}) {
+    for (const int threads : {4, 8}) {
+      for (const SchedMode sched : {SchedMode::kStatic, SchedMode::kStealing}) {
+        cases.push_back({sim::Method::CaCutoff, 4096, 64, 2, 0.1,
+                         particles::KernelEngine::Batched, threads, true, dist, sched, 2});
+      }
+    }
+  }
 
   std::vector<Result> results;
-  std::cout << "method        n      p    c  engine   thr  plane   steps/s\n";
+  std::cout << "method        n      p    c  engine   thr  plane   dist     sched    steps/s\n";
   for (const auto& cs : cases) {
     Result r{cs, measure_steps_per_sec(cs, min_ms, repeats)};
     results.push_back(r);
-    std::printf("%-13s %-6d %-4d %-2d %-8s %-4d %-7s %.2f\n", sim::method_name(cs.method), cs.n,
-                cs.p, cs.c, engine_label(cs.engine), cs.threads, cs.pooled ? "pooled" : "legacy",
-                r.steps_per_sec);
+    std::printf("%-13s %-6d %-4d %-2d %-8s %-4d %-7s %-8s %-8s %.2f\n",
+                sim::method_name(cs.method), cs.n, cs.p, cs.c, engine_label(cs.engine),
+                cs.threads, cs.pooled ? "pooled" : "legacy", cs.dist.c_str(),
+                to_string(cs.sched), r.steps_per_sec);
   }
   write_json(out_path, results, min_ms, repeats);
   std::cout << "wrote " << out_path << "\n";

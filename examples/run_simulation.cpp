@@ -9,11 +9,16 @@
 //   --method      ca-all-pairs | ca-cutoff | spatial-halo | midpoint | particle-ring |
 //                 particle-allgather | force-decomp
 //   --machine     laptop | hopper | intrepid | intrepid-tree
-//   --workload    uniform | lattice | clusters | gradient | two-stream
+//   --workload    uniform | lattice | clusters | gradient | two-stream |
+//                 plummer | ring
 //   --cutoff      cutoff radius (required by the cutoff methods)
 //   --restart     resume from a checkpoint written by --checkpoint
 //   --threads     host threads for the force loops (ca methods);
 //                 0 = auto-detect (std::thread::hardware_concurrency)
+//   --sched       static | stealing host task scheduler for those threads
+//                 (support/parallel.hpp); outputs are bitwise identical
+//                 either way — stealing only rebalances execution
+//   --steal-grain tasks clipped per steal (stealing mode; default 1)
 //   --engine      scalar | batched host force sweep (virtual time unchanged)
 //   --data-plane  pooled | legacy host buffer movement (vmpi/buffer_pool.hpp);
 //                 host wall time only — outputs are bitwise identical
@@ -94,8 +99,16 @@ particles::Block make_workload(const std::string& name, int n, const particles::
   if (name == "clusters") return particles::init_clusters(n, box, 4, 0.05, seed, 0.02);
   if (name == "gradient") return particles::init_gradient(n, box, 1.0, seed);
   if (name == "two-stream") return particles::init_two_stream(n, box, 0.2, 0.02, seed);
+  if (name == "plummer") return particles::init_plummer(n, box, 0.1, seed, 0.02);
+  if (name == "ring") return particles::init_ring(n, box, 0.35, 0.05, seed, 0.02);
   CANB_REQUIRE(false, "unknown --workload: " + name);
   return {};
+}
+
+/// Cache key + tuner calibration shape for a workload name.
+std::string tune_distribution_for(const std::string& workload) {
+  if (workload == "plummer" || workload == "ring" || workload == "clusters") return workload;
+  return "uniform";
 }
 
 }  // namespace
@@ -104,10 +117,10 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"method", "machine", "workload", "n", "p", "c", "steps", "dt", "cutoff",
                       "seed", "xyz", "csv", "checkpoint", "restart", "report", "rdf",
-                      "threads", "integrator", "engine", "data-plane", "tune",
-                      "tune-cache", "fault-seed", "straggler", "jitter", "drop-rate",
-                      "link-degrade", "obs-level", "metrics-out", "trace-out",
-                      "spans-csv"});
+                      "threads", "sched", "steal-grain", "integrator", "engine",
+                      "data-plane", "tune", "tune-cache", "fault-seed", "straggler",
+                      "jitter", "drop-rate", "link-degrade", "obs-level", "metrics-out",
+                      "trace-out", "spans-csv"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -125,12 +138,23 @@ int main(int argc, char** argv) {
     cfg.pooled_data_plane = dp == "pooled";
   }
   {
+    const auto sched = parse_sched_mode(args.get("sched", "static"));
+    CANB_REQUIRE(sched.has_value(), "unknown --sched (static | stealing)");
+    cfg.sched = *sched;
+    cfg.steal_grain = static_cast<int>(args.get_int("steal-grain", 1));
+    CANB_REQUIRE(cfg.steal_grain >= 1, "--steal-grain must be >= 1");
+  }
+  {
     const auto tune = sim::parse_tune_mode(args.get("tune", "off"));
     CANB_REQUIRE(tune.has_value(), "unknown --tune (off | auto | force)");
     cfg.tune = *tune;
     cfg.tune_cache = args.get("tune-cache", "");
     CANB_REQUIRE(cfg.tune_cache.empty() || cfg.tune != sim::TuneMode::Off,
                  "--tune-cache needs --tune=auto or force");
+    cfg.tune_distribution = tune_distribution_for(args.get("workload", "uniform"));
+    // An explicit --sched wins over whatever the tuner would install.
+    CANB_REQUIRE(!args.has("sched") || cfg.tune == sim::TuneMode::Off,
+                 "--sched conflicts with --tune (the tuner picks the scheduler)");
   }
   const int n = static_cast<int>(args.get_int("n", 512));
   const int steps = static_cast<int>(args.get_int("steps", 50));
@@ -183,7 +207,10 @@ int main(int argc, char** argv) {
               << " half-sweep=" << (tuned->tuning.half_sweep ? "on" : "off")
               << " tile=" << tuned->tuning.tile
               << " simd=" << particles::simd::backend_name(particles::simd::active())
-              << " threads=" << tuned->threads
+              << " threads=" << tuned->threads << " sched=" << to_string(tuned->sched)
+              << (tuned->sched == SchedMode::kStealing
+                      ? "/grain" + std::to_string(tuned->steal_grain)
+                      : "")
               << (tuned->from_cache ? " (cached)" : " (calibrated)") << "\n";
   }
   int threads = static_cast<int>(args.get_int("threads", 1));
@@ -254,6 +281,8 @@ int main(int argc, char** argv) {
         .set("cutoff", cfg.cutoff)
         .set("seed", seed)
         .set("integrator", cfg.integrator)
+        .set("threads", threads)
+        .set("sched", to_string(simulation.config().sched))
         .set("obs_level", obs::obs_level_name(telem->level()));
     if (cfg.fault) {
       manifest.set("fault_seed", cfg.fault->seed)

@@ -208,23 +208,30 @@ class CaAllPairs {
   }
 
   void interact_all() {
-    auto body = [&](int b, int e) {
-      for (int r = b; r < e; ++r) {
-        auto& carried = carried_[static_cast<std::size_t>(r)];
-        const bool same = carried.team == grid_.col_of(r);
-        const auto stats =
-            policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf, same);
-        // Per-rank ledger rows and clocks are disjoint: safe across threads
-        // (the telemetry sweep accumulators follow the same per-rank rule).
-        vc_.charge_interactions(r, static_cast<double>(stats.examined));
-        if (telem_ != nullptr && telem_->enabled())
-          telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
-      }
+    auto rank_body = [&](int r) {
+      auto& carried = carried_[static_cast<std::size_t>(r)];
+      const bool same = carried.team == grid_.col_of(r);
+      const auto stats =
+          policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf, same);
+      // Per-rank ledger rows and clocks are disjoint: safe across threads
+      // in any execution order (the telemetry sweep accumulators follow the
+      // same per-rank rule), so static and stealing schedules produce
+      // bitwise-identical artifacts.
+      vc_.charge_interactions(r, static_cast<double>(stats.examined));
+      if (telem_ != nullptr && telem_->enabled())
+        telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
     };
     if (pool_) {
-      pool_->parallel_for_chunks(0, cfg_.p, body);
+      // Cost hints: per-rank resident x carried block sizes — the exact
+      // pair count each rank examines this round.
+      cost_.resize(static_cast<std::size_t>(cfg_.p));
+      for (int r = 0; r < cfg_.p; ++r)
+        cost_[static_cast<std::size_t>(r)] =
+            static_cast<double>(Policy::count(resident_[static_cast<std::size_t>(r)])) *
+            static_cast<double>(Policy::count(carried_[static_cast<std::size_t>(r)].buf));
+      pool_->parallel_tasks(cfg_.p, [&](int r, int) { rank_body(r); }, cost_.data());
     } else {
-      body(0, cfg_.p);
+      for (int r = 0; r < cfg_.p; ++r) rank_body(r);
     }
   }
 
@@ -301,6 +308,7 @@ class CaAllPairs {
   obs::Telemetry* telem_ = nullptr;
   std::vector<Buffer> resident_;
   std::vector<Carried> carried_;
+  std::vector<double> cost_;  ///< per-rank sweep cost hints (scratch)
   int steps_ = 0;
 };
 

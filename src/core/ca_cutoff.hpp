@@ -252,29 +252,40 @@ class CaCutoff {
       rs.off = geom.slot_offset(s);
       rs.self = rs.off == TeamOffset{};
     }
-    auto body = [&](int b, int e) {
-      for (int r = b; r < e; ++r) {
-        const auto& rs = rows_[static_cast<std::size_t>(r / q)];
-        if (!rs.in_window) continue;
-        if (!cfg_.periodic) {
-          const int ox = tx_[static_cast<std::size_t>(r)] + rs.off.x;
-          const int oy = ty_[static_cast<std::size_t>(r)] + rs.off.y;
-          const int oz = tz_[static_cast<std::size_t>(r)] + rs.off.z;
-          if (ox < 0 || ox >= qx || oy < 0 || oy >= qy || oz < 0 || oz >= qz) continue;
-        }
-        const auto stats = policy_.interact(resident_[static_cast<std::size_t>(r)],
-                                            carried_[static_cast<std::size_t>(r)], rs.self);
-        // Per-rank ledger rows and telemetry sweep slots are disjoint:
-        // safe across pool threads.
-        vc_.charge_interactions(r, static_cast<double>(stats.examined));
-        if (telem_ != nullptr && telem_->enabled())
-          telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
+    auto rank_body = [&](int r) {
+      const auto& rs = rows_[static_cast<std::size_t>(r / q)];
+      if (!rs.in_window) return;
+      if (!cfg_.periodic) {
+        const int ox = tx_[static_cast<std::size_t>(r)] + rs.off.x;
+        const int oy = ty_[static_cast<std::size_t>(r)] + rs.off.y;
+        const int oz = tz_[static_cast<std::size_t>(r)] + rs.off.z;
+        if (ox < 0 || ox >= qx || oy < 0 || oy >= qy || oz < 0 || oz >= qz) return;
       }
+      const auto stats = policy_.interact(resident_[static_cast<std::size_t>(r)],
+                                          carried_[static_cast<std::size_t>(r)], rs.self);
+      // Per-rank ledger rows and telemetry sweep slots are disjoint: safe
+      // across pool threads in any execution order, so both static and
+      // stealing schedules leave every artifact bitwise identical.
+      vc_.charge_interactions(r, static_cast<double>(stats.examined));
+      if (telem_ != nullptr && telem_->enabled())
+        telem_->on_sweep(r, stats.examined, stats.computed, stats.half_sweep);
     };
     if (pool_) {
-      pool_->parallel_for_chunks(0, cfg_.p, body);
+      // Cost hints: the spatial interaction histogram (resident x carried
+      // block sizes) per rank. Clustered distributions skew these by orders
+      // of magnitude — exactly what the stealing partition corrects.
+      cost_.resize(static_cast<std::size_t>(cfg_.p));
+      for (int r = 0; r < cfg_.p; ++r) {
+        const auto& rs = rows_[static_cast<std::size_t>(r / q)];
+        cost_[static_cast<std::size_t>(r)] =
+            rs.in_window
+                ? static_cast<double>(Policy::count(resident_[static_cast<std::size_t>(r)])) *
+                      static_cast<double>(Policy::count(carried_[static_cast<std::size_t>(r)]))
+                : 0.0;
+      }
+      pool_->parallel_tasks(cfg_.p, [&](int r, int) { rank_body(r); }, cost_.data());
     } else {
-      body(0, cfg_.p);
+      for (int r = 0; r < cfg_.p; ++r) rank_body(r);
     }
   }
 
@@ -317,6 +328,7 @@ class CaCutoff {
   std::vector<int> tz_;   ///< per-rank team z coordinate (cached)
   std::vector<int> src_;  ///< per-step receive-from permutation (scratch)
   std::vector<TeamOffset> deltas_;  ///< per-row displacement scratch
+  std::vector<double> cost_;        ///< per-rank sweep cost hints (scratch)
   std::vector<RowSlot> rows_;       ///< per-row slot-geometry scratch
   int slots_ = 0;
 };

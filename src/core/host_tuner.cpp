@@ -147,9 +147,10 @@ bool field_bool(std::string_view obj, std::string_view key, bool& out) {
   return false;
 }
 
-/// Parses one entry object's text; false rejects the whole file.
+/// Parses one entry object's text; false rejects the whole file. Every v2
+/// field is mandatory — a truncated or hand-pruned entry fails closed.
 bool parse_entry(std::string_view obj, HostTuneEntry& e) {
-  double n = 0.0, tile = 0.0, threads = 0.0, rate = 0.0;
+  double n = 0.0, tile = 0.0, threads = 0.0, grain = 0.0, lane_max = 0.0, rate = 0.0;
   if (!field_string(obj, "kernel", e.kernel)) return false;
   if (!field_number(obj, "n", n) || n < 2.0) return false;
   if (!field_string(obj, "engine", e.engine)) return false;
@@ -161,10 +162,18 @@ bool parse_entry(std::string_view obj, HostTuneEntry& e) {
   if (!field_number(obj, "threads", threads) || threads < 1.0) return false;
   if (!field_string(obj, "backend", e.backend)) return false;
   if (!particles::simd::parse_backend(e.backend)) return false;
+  if (!field_string(obj, "sched", e.sched)) return false;
+  if (!parse_sched_mode(e.sched)) return false;
+  if (!field_number(obj, "steal_grain", grain) || grain < 1.0) return false;
+  if (!field_number(obj, "inline_lane_max", lane_max) || lane_max < 0.0) return false;
+  if (!field_string(obj, "distribution", e.distribution) || e.distribution.empty())
+    return false;
   if (!field_number(obj, "pairs_per_sec", rate)) return false;
   e.n = static_cast<std::uint64_t>(n);
   e.tile = static_cast<std::uint64_t>(tile);
   e.threads = static_cast<int>(threads);
+  e.steal_grain = static_cast<int>(grain);
+  e.inline_lane_max = static_cast<std::uint64_t>(lane_max);
   e.pairs_per_sec = rate;
   return true;
 }
@@ -239,6 +248,12 @@ bool TuningCache::save(const std::string& path) const {
     out += ", \"threads\": " + std::to_string(e.threads);
     out += ", \"backend\": ";
     append_json_string(out, e.backend);
+    out += ", \"sched\": ";
+    append_json_string(out, e.sched);
+    out += ", \"steal_grain\": " + std::to_string(e.steal_grain);
+    out += ", \"inline_lane_max\": " + std::to_string(e.inline_lane_max);
+    out += ", \"distribution\": ";
+    append_json_string(out, e.distribution);
     char rate[40];
     std::snprintf(rate, sizeof rate, "%.17g", e.pairs_per_sec);
     out += std::string(", \"pairs_per_sec\": ") + rate + "}";
@@ -251,15 +266,17 @@ bool TuningCache::save(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
-const HostTuneEntry* TuningCache::find(std::string_view kernel, std::uint64_t n) const {
+const HostTuneEntry* TuningCache::find(std::string_view kernel, std::uint64_t n,
+                                       std::string_view distribution) const {
   for (const HostTuneEntry& e : entries_)
-    if (e.n == n && e.kernel == kernel) return &e;
+    if (e.n == n && e.kernel == kernel && e.distribution == distribution) return &e;
   return nullptr;
 }
 
 void TuningCache::put(HostTuneEntry e) {
   for (HostTuneEntry& existing : entries_) {
-    if (existing.n == e.n && existing.kernel == e.kernel) {
+    if (existing.n == e.n && existing.kernel == e.kernel &&
+        existing.distribution == e.distribution) {
       existing = std::move(e);
       return;
     }
@@ -272,18 +289,23 @@ HostTuneChoice choice_from_entry(const HostTuneEntry& e) {
   c.engine = particles::parse_engine(e.engine);
   c.tuning.half_sweep = e.half_sweep;
   c.tuning.tile = static_cast<std::size_t>(e.tile);
+  c.tuning.inline_lane_max = static_cast<std::size_t>(e.inline_lane_max);
   // Entries validate against parse_backend on load; clamp to what this
   // machine supports in case a hand-edited cache requests wider lanes.
   const auto parsed = particles::simd::parse_backend(e.backend);
   c.backend = parsed ? std::min(*parsed, particles::simd::max_supported())
                      : particles::simd::Backend::Scalar;
   c.threads = e.threads < 1 ? 1 : e.threads;
+  const auto sched = parse_sched_mode(e.sched);
+  c.sched = sched ? *sched : SchedMode::kStatic;
+  c.steal_grain = e.steal_grain < 1 ? 1 : e.steal_grain;
   c.pairs_per_sec = e.pairs_per_sec;
   c.from_cache = true;
   return c;
 }
 
-HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, const HostTuneChoice& c) {
+HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, std::string distribution,
+                                const HostTuneChoice& c) {
   HostTuneEntry e;
   e.kernel = std::move(kernel);
   e.n = n;
@@ -292,8 +314,18 @@ HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, const HostT
   e.half_sweep = c.tuning.half_sweep;
   e.threads = c.threads;
   e.backend = particles::simd::backend_name(c.backend);
+  e.sched = to_string(c.sched);
+  e.steal_grain = c.steal_grain;
+  e.inline_lane_max = c.tuning.inline_lane_max;
+  e.distribution = std::move(distribution);
   e.pairs_per_sec = c.pairs_per_sec;
   return e;
+}
+
+machine::MachineModel with_measured_gamma(machine::MachineModel model,
+                                          const HostTuneChoice& choice) {
+  if (choice.pairs_per_sec > 0.0) model.gamma = 1.0 / choice.pairs_per_sec;
+  return model;
 }
 
 }  // namespace canb::core

@@ -16,6 +16,7 @@
 // numbers.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -24,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/machine_model.hpp"
 #include "particles/batched_engine.hpp"
 #include "particles/init.hpp"
 #include "particles/kernels.hpp"
@@ -33,8 +35,8 @@
 
 namespace canb::core {
 
-/// One persisted tuning decision for a (kernel, block size) on this
-/// machine + build.
+/// One persisted tuning decision for a (kernel, block size, distribution)
+/// on this machine + build.
 struct HostTuneEntry {
   std::string kernel;
   std::uint64_t n = 0;
@@ -43,15 +45,31 @@ struct HostTuneEntry {
   bool half_sweep = true;
   int threads = 1;
   std::string backend = "scalar";
+  /// Host scheduler over per-rank/per-cell tasks: "static" or "stealing"
+  /// (support/parallel.hpp). Execution order only — results are bitwise
+  /// identical either way, so applying a cached value is always safe.
+  std::string sched = "static";
+  int steal_grain = 1;  ///< tasks clipped per steal under "stealing"
+  /// Block-size ceiling for the inlined lane pipeline on exact-lane
+  /// kernels (particles/batched_engine.hpp kInlineLaneMax). Persisted so a
+  /// hand-tuned override survives; the tuner itself keeps the seeded
+  /// default rather than spending calibration time on it.
+  std::uint64_t inline_lane_max = particles::BatchedEngine::kInlineLaneMax;
+  /// Workload shape the entry was calibrated on ("uniform", "plummer",
+  /// "ring", "clusters"): clustered inputs pick different schedulers than
+  /// uniform ones, so the cache keys on it.
+  std::string distribution = "uniform";
   double pairs_per_sec = 0.0;  ///< measured throughput of the choice
 };
 
 /// The JSON tuning cache. Format (docs/TUNING.md):
-///   { "schema": "canb-host-tuning-v1", "machine": "...", "build": "...",
+///   { "schema": "canb-host-tuning-v2", "machine": "...", "build": "...",
 ///     "entries": [ { "kernel": ..., "n": ..., ... } ] }
+/// v1 files (no scheduler/distribution fields) fail the schema check and
+/// are discarded whole — the cost is one re-tune, never a misapplied knob.
 class TuningCache {
  public:
-  static constexpr const char* kSchema = "canb-host-tuning-v1";
+  static constexpr const char* kSchema = "canb-host-tuning-v2";
 
   /// CPU identity: /proc/cpuinfo model name (or "unknown-cpu") plus the
   /// widest SIMD backend, so a binary migrated to a narrower machine
@@ -69,8 +87,9 @@ class TuningCache {
   /// Writes the cache as JSON; false on I/O failure.
   bool save(const std::string& path) const;
 
-  const HostTuneEntry* find(std::string_view kernel, std::uint64_t n) const;
-  /// Upserts by (kernel, n).
+  const HostTuneEntry* find(std::string_view kernel, std::uint64_t n,
+                            std::string_view distribution = "uniform") const;
+  /// Upserts by (kernel, n, distribution).
   void put(HostTuneEntry e);
 
   const std::vector<HostTuneEntry>& entries() const noexcept { return entries_; }
@@ -92,12 +111,27 @@ struct HostTuneChoice {
   particles::SweepTuning tuning{};
   particles::simd::Backend backend = particles::simd::Backend::Scalar;
   int threads = 1;
+  /// Scheduler for the host pool's task loops. Advisory like `threads`:
+  /// the caller installs it on the pool it attaches (set_sched_mode /
+  /// set_steal_grain). Never changes results, only execution order.
+  SchedMode sched = SchedMode::kStatic;
+  int steal_grain = 1;
   double pairs_per_sec = 0.0;
   bool from_cache = false;
 };
 
 HostTuneChoice choice_from_entry(const HostTuneEntry& e);
-HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, const HostTuneChoice& c);
+HostTuneEntry entry_from_choice(std::string kernel, std::uint64_t n, std::string distribution,
+                                const HostTuneChoice& c);
+
+/// Bridges host calibration into the virtual cost model: replaces the
+/// model's per-interaction compute constant with the measured sweep rate,
+/// gamma = 1 / pairs_per_sec. With this, core::Autotuner's c-choice weighs
+/// communication against the compute throughput this machine actually
+/// delivers instead of the preset's nominal constant. Returns `model`
+/// unchanged when the choice carries no measurement.
+machine::MachineModel with_measured_gamma(machine::MachineModel model,
+                                          const HostTuneChoice& choice);
 
 template <particles::ForceKernel K>
 class HostTuner {
@@ -110,6 +144,10 @@ class HostTuner {
     double sample_seconds = 0.01;  ///< min measured wall time per candidate
     int max_threads = 0;           ///< thread candidates up to this (0 = hardware)
     std::uint64_t seed = 1234;     ///< calibration particle placement
+    /// Workload shape to calibrate on: "uniform" (default), "plummer",
+    /// "ring", or "clusters". Shapes the calibration block AND the skew of
+    /// the scheduler trial's per-task loads, and keys the cache entry.
+    std::string distribution = "uniform";
   };
 
   struct Candidate {
@@ -138,7 +176,7 @@ class HostTuner {
     simd::set_fast_rsqrt(false);  // calibration never times the opt-in path
 
     const int n = static_cast<int>(cfg_.n);
-    particles::Block block = particles::init_uniform(n, cfg_.box, cfg_.seed);
+    particles::Block block = make_block(n);
     const double pairs = static_cast<double>(cfg_.n) * static_cast<double>(cfg_.n - 1);
 
     Result result;
@@ -176,6 +214,7 @@ class HostTuner {
     }
 
     result.best.threads = tune_threads(result.best);
+    tune_sched(result.best);
 
     simd::set_backend(saved_backend);
     simd::set_fast_rsqrt(saved_fast);
@@ -188,14 +227,14 @@ class HostTuner {
   /// (the caller persists it with TuningCache::save).
   Result tune_with_cache(TuningCache& cache, bool force = false) const {
     if (!force) {
-      if (const HostTuneEntry* e = cache.find(K::kName, cfg_.n)) {
+      if (const HostTuneEntry* e = cache.find(K::kName, cfg_.n, cfg_.distribution)) {
         Result r;
         r.best = choice_from_entry(*e);
         return r;
       }
     }
     Result r = tune();
-    cache.put(entry_from_choice(K::kName, cfg_.n, r.best));
+    cache.put(entry_from_choice(K::kName, cfg_.n, cfg_.distribution, r.best));
     return r;
   }
 
@@ -203,6 +242,18 @@ class HostTuner {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Calibration particles shaped per Config::distribution. Unknown names
+  /// fall back to uniform (the tuner must never fail a run over a label).
+  particles::Block make_block(int n) const {
+    if (cfg_.distribution == "plummer")
+      return particles::init_plummer(n, cfg_.box, 0.1, cfg_.seed);
+    if (cfg_.distribution == "ring")
+      return particles::init_ring(n, cfg_.box, 0.35, 0.05, cfg_.seed);
+    if (cfg_.distribution == "clusters")
+      return particles::init_clusters(n, cfg_.box, 4, 0.05, cfg_.seed);
+    return particles::init_uniform(n, cfg_.box, cfg_.seed);
+  }
 
   /// Seconds per self-sweep of the calibration block under `choice`
   /// (backend installed for the duration of the measurement).
@@ -260,6 +311,65 @@ class HostTuner {
       }
     }
     return best_t;
+  }
+
+  /// Picks the scheduler (static vs stealing, and the steal grain) by
+  /// timing parallel_tasks over x-slab sub-blocks of a distribution-shaped
+  /// workload — the same task shape and cost-hint skew the engines submit.
+  /// Serial pools keep the static default: there is nobody to steal from.
+  void tune_sched(HostTuneChoice& choice) const {
+    choice.sched = SchedMode::kStatic;
+    choice.steal_grain = 1;
+    if (choice.threads <= 1) return;
+    particles::simd::set_backend(choice.backend);
+
+    const int tasks = std::max(8, 4 * choice.threads);
+    const int total = static_cast<int>(std::min<std::uint64_t>(cfg_.n * 4, 8192));
+    const particles::Block all = make_block(std::max(total, 2 * tasks));
+    // Slab split along x: clustered distributions concentrate most
+    // particles (hence ~quadratic sweep cost) in a few slabs, which is
+    // exactly the imbalance stealing exists to absorb.
+    std::vector<particles::Block> slabs(static_cast<std::size_t>(tasks));
+    for (const particles::Particle& p : all) {
+      int s = static_cast<int>(static_cast<double>(p.px) / cfg_.box.lx *
+                               static_cast<double>(tasks));
+      slabs[static_cast<std::size_t>(std::clamp(s, 0, tasks - 1))].push_back(p);
+    }
+    std::vector<double> cost(static_cast<std::size_t>(tasks));
+    for (int t = 0; t < tasks; ++t) {
+      const double ns = static_cast<double>(slabs[static_cast<std::size_t>(t)].size());
+      cost[static_cast<std::size_t>(t)] = ns * ns;
+    }
+    std::vector<particles::SweepScratch> scratch(static_cast<std::size_t>(choice.threads));
+
+    ThreadPool pool(choice.threads);
+    const auto rate_of = [&](SchedMode mode, int grain) {
+      pool.set_sched_mode(mode);
+      pool.set_steal_grain(grain);
+      const auto call = [&] {
+        pool.parallel_tasks(
+            tasks,
+            [&](int t, int w) {
+              auto& blk = slabs[static_cast<std::size_t>(t)];
+              particles::accumulate_forces_with(
+                  choice.engine, std::span<particles::Particle>(blk),
+                  std::span<const particles::Particle>(blk), cfg_.box, cfg_.kernel,
+                  cfg_.cutoff, &scratch[static_cast<std::size_t>(w)], choice.tuning);
+            },
+            cost.data());
+      };
+      return 1.0 / time_call(call, cfg_.sample_seconds);
+    };
+
+    double best = rate_of(SchedMode::kStatic, 1);
+    for (const int grain : {1, 2, 4}) {
+      const double rate = rate_of(SchedMode::kStealing, grain);
+      if (rate > best) {
+        best = rate;
+        choice.sched = SchedMode::kStealing;
+        choice.steal_grain = grain;
+      }
+    }
   }
 
   template <class F>

@@ -107,6 +107,38 @@ void Telemetry::phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase,
   timeline_.add(std::move(s));
 }
 
+void Telemetry::publish_scheduler(std::string_view mode, const SchedulerStats& stats) {
+  if (!enabled() || stats.calls == 0) return;
+  registry_
+      .gauge("canb_sched_info", {{"mode", std::string(mode)}},
+             "host task scheduler in effect (value 1; mode label carries the choice)")
+      .set(1.0);
+  registry_
+      .counter("canb_sched_calls_total", {}, "parallel_tasks invocations on the host pool")
+      .inc(stats.calls);
+  registry_.counter("canb_sched_tasks_total", {}, "tasks executed across all workers")
+      .inc(stats.tasks);
+  registry_
+      .counter("canb_steal_total", {},
+               "steal operations (batches clipped from another worker's deque)")
+      .inc(stats.steals);
+  for (std::size_t w = 0; w < stats.tasks_per_worker.size(); ++w) {
+    const Labels labels{{"worker", std::to_string(w)}};
+    registry_
+        .gauge("canb_tasks_per_worker", labels,
+               "tasks this worker executed (own + stolen); HOST wall accounting")
+        .set(static_cast<double>(stats.tasks_per_worker[w]));
+    registry_
+        .gauge("canb_worker_busy_seconds", labels,
+               "HOST wall seconds this worker spent running tasks")
+        .set(stats.busy_seconds[w]);
+    registry_
+        .gauge("canb_worker_idle_seconds", labels,
+               "HOST wall seconds this worker waited inside task drains")
+        .set(stats.idle_seconds[w]);
+  }
+}
+
 void Telemetry::finalize(const vmpi::VirtualComm& vc) {
   if (!enabled()) return;
   for (std::size_t i = 0; i < vmpi::kPhaseCount; ++i) {

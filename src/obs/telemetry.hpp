@@ -32,6 +32,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "support/parallel.hpp"
 #include "vmpi/observer.hpp"
 #include "vmpi/trace.hpp"
 #include "vmpi/virtual_comm.hpp"
@@ -79,6 +80,14 @@ class Telemetry final : public vmpi::CommObserver {
   /// finalize() as canb_sweep_backend{backend=...}. Set by the Simulation
   /// (telemetry itself stays independent of the particles library).
   void set_sweep_backend(std::string name) { sweep_backend_ = std::move(name); }
+
+  /// Publishes host scheduler counters from a ThreadPool's SchedulerStats
+  /// (support/parallel.hpp): canb_steal_total, canb_sched_tasks_total,
+  /// canb_sched_calls_total, per-worker task/busy/idle series, and a
+  /// canb_sched_info{mode=...} marker gauge. Host wall-time observability
+  /// only — nothing here reads back into the simulation. Call once before
+  /// finalize(); a no-op when the stats carry no calls.
+  void publish_scheduler(std::string_view mode, const SchedulerStats& stats);
 
   /// Folds per-rank accumulators (compute seconds, wait seconds, final
   /// clocks) into registry gauges. Call once after the run.

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -40,8 +41,10 @@
 #include <type_traits>
 
 #include "particles/kernels.hpp"
+#include "particles/simd/simd.hpp"
 #include "particles/soa_block.hpp"
 #include "particles/soa_tile.hpp"
+#include "support/parallel.hpp"
 
 namespace canb::particles {
 
@@ -84,6 +87,15 @@ class BatchedEngine {
   /// lanes at this width stay comfortably inside L1.
   static constexpr std::size_t kTileWidth = 128;
 
+  /// Seeded default for sweep's inline-vs-lane pipeline threshold: at or
+  /// below this many sources, kernels with an exact lane pipeline
+  /// (K::kLanesExact) run the inlined auto-vectorized pipeline instead of
+  /// the out-of-line SIMD lane call — sized from the PR 6 small-block
+  /// regression (n=128/rank cross-sweeps ~16% slower out-of-lined). The
+  /// host tuner can calibrate per (kernel, n); this default needs no
+  /// calibration run.
+  static constexpr std::size_t kInlineLaneMax = 192;
+
   /// Runs the tiled sweep of `src` against `tgt`, accumulating into the
   /// target's double fx/fy lanes. Operands are anything exposing the shared
   /// lane accessors (SoaBlock, SoaTile). Pair semantics match the scalar
@@ -94,9 +106,24 @@ class BatchedEngine {
   /// lower it for small blocks. Tile width changes double-level partial
   /// grouping only — the per-call float fold at the store collapses it, so
   /// trajectories are unaffected (layout-invariance tests pin this).
+  ///
+  /// `inline_lane_max`: source blocks at or below this size run kernels
+  /// with an EXACT lane pipeline (K::kLanesExact) through the inlined
+  /// pre-dispatch pipeline instead of the out-of-line lane call, which
+  /// costs more than it vectorizes on small tiles. Bitwise-neutral by the
+  /// kLanesExact contract; approximate lane kernels (exp) never switch.
+  ///
+  /// `pool`: optional host pool — target-tile chunks fan out as scheduler
+  /// tasks. Chunks store to disjoint target ranges and each target's fold
+  /// runs entirely inside its chunk in serial source order, so forces are
+  /// bitwise identical for any schedule and thread count; the counters are
+  /// exact integer sums. Do NOT pass a pool from inside another
+  /// parallel_tasks body (the scheduler does not nest).
   template <ForceKernel K, class TgtT, class SrcT>
   static InteractionCount sweep(TgtT& tgt, const SrcT& src, const Box& box, const K& kernel,
-                                double cutoff, std::size_t tile = kTileWidth) {
+                                double cutoff, std::size_t tile = kTileWidth,
+                                std::size_t inline_lane_max = kInlineLaneMax,
+                                ThreadPool* pool = nullptr) {
     tile = std::clamp<std::size_t>(tile, 1, kTileWidth);
     const std::size_t nt = tgt.size();
     const std::size_t ns = src.size();
@@ -172,16 +199,31 @@ class BatchedEngine {
       return std::max(0.0, std::min(dlo, wrap - dhi));
     };
 
-    std::uint64_t examined = 0;
-    std::uint64_t within = 0;
-    std::uint64_t computed = 0;
+    // Row pipeline choice for lane-batched kernels: exact-lane kernels
+    // (kLanesExact) drop to the inlined pre-dispatch pipeline on small
+    // source blocks, where the out-of-line lane call costs more than it
+    // vectorizes. Bitwise-neutral by the kLanesExact contract; approximate
+    // lane kernels (exp) never switch, and opting into fast rsqrt keeps
+    // the lane path (the caller asked for it).
+    [[maybe_unused]] bool lane_rows = true;
+    if constexpr (LaneBatchedKernel<K>) {
+      if constexpr (K::kLanesExact) {
+        if (ns <= inline_lane_max && !simd::fast_rsqrt()) lane_rows = false;
+      }
+    }
+
     // Doubly tiled: targets advance in stack-accumulated chunks, source
     // tiles run innermost so one tile stays L1-hot across the whole chunk.
     // Each target still forms per-source-tile partial sums from zero and
     // adds them in tile order — the same grouping a zeroed gather tile
     // produced — so the single store per target below can fold the call's
     // contribution at the right precision for the operand.
-    for (std::size_t i0 = 0; i0 < nt; i0 += tile) {
+    //
+    // One target-tile chunk is the scheduler task unit: its stores hit a
+    // disjoint target range and every fold inside it runs in serial source
+    // order, so chunks can execute in any order on any worker.
+    const auto sweep_chunk = [&](std::size_t i0, std::uint64_t& examined,
+                                 std::uint64_t& within, std::uint64_t& computed) {
       const std::size_t ilen = std::min(tile, nt - i0);
       double accx[kTileWidth];
       double accy[kTileWidth];
@@ -215,41 +257,9 @@ class BatchedEngine {
           double gx[kTileWidth];
           double gy[kTileWidth];
           double gm[kTileWidth];
-          if constexpr (LaneBatchedKernel<K>) {
-            // Kernels with a libm call in `magnitude` (exp) get a split
-            // pass: geometry and masks into buffers (vectorizable), the
-            // kernel's own lane loop (which hoists the libm call so it
-            // doesn't clobber the vector registers mid-loop), then a
-            // vectorizable combine. Masked lanes still evaluate at
-            // r2g >= 1 and multiply to an exact 0.0.
-            double r2b[kTileWidth];
-            double mg[kTileWidth];
-            double cb[kTileWidth];
-            for (std::size_t t = 0; t < len; ++t) {
-              const std::size_t j = j0 + t;
-              double dx = xi - static_cast<double>(sx[j]);
-              double dy = dimy * (yi - static_cast<double>(sy[j]));
-              dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
-              dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
-              const double r2 = dx * dx + dy * dy;
-              const double m =
-                  static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
-              gx[t] = dx;
-              gy[t] = dy;
-              gm[t] = m;
-              r2b[t] = r2 + (1.0 - m);
-              if constexpr (K::kCoupling != Coupling::None)
-                cb[t] = ci * static_cast<double>(scpl[j]);
-            }
-            kernel.magnitude_lanes(r2b, cb, mg, len);
-            for (std::size_t t = 0; t < len; ++t) {
-              const double mag = mg[t] * gm[t];
-              gx[t] *= mag;
-              gy[t] *= mag;
-            }
-          } else {
-            // Pass 1: independent lanes, no cross-iteration state — this
-            // is the loop the auto-vectorizer packs.
+          // Pass 1: independent lanes, no cross-iteration state — this is
+          // the loop the auto-vectorizer packs.
+          const auto plain_row = [&] {
             for (std::size_t t = 0; t < len; ++t) {
               const std::size_t j = j0 + t;
               double dx = xi - static_cast<double>(sx[j]);
@@ -268,6 +278,45 @@ class BatchedEngine {
               gy[t] = mag * dy;
               gm[t] = m;
             }
+          };
+          if constexpr (LaneBatchedKernel<K>) {
+            if (lane_rows) {
+              // Kernels with a libm call in `magnitude` (exp) get a split
+              // pass: geometry and masks into buffers (vectorizable), the
+              // kernel's own lane loop (which hoists the libm call so it
+              // doesn't clobber the vector registers mid-loop), then a
+              // vectorizable combine. Masked lanes still evaluate at
+              // r2g >= 1 and multiply to an exact 0.0.
+              double r2b[kTileWidth];
+              double mg[kTileWidth];
+              double cb[kTileWidth];
+              for (std::size_t t = 0; t < len; ++t) {
+                const std::size_t j = j0 + t;
+                double dx = xi - static_cast<double>(sx[j]);
+                double dy = dimy * (yi - static_cast<double>(sy[j]));
+                dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
+                dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
+                const double r2 = dx * dx + dy * dy;
+                const double m =
+                    static_cast<double>(idi != sid[j]) * static_cast<double>(r2 <= cut2);
+                gx[t] = dx;
+                gy[t] = dy;
+                gm[t] = m;
+                r2b[t] = r2 + (1.0 - m);
+                if constexpr (K::kCoupling != Coupling::None)
+                  cb[t] = ci * static_cast<double>(scpl[j]);
+              }
+              kernel.magnitude_lanes(r2b, cb, mg, len);
+              for (std::size_t t = 0; t < len; ++t) {
+                const double mag = mg[t] * gm[t];
+                gx[t] *= mag;
+                gy[t] *= mag;
+              }
+            } else {
+              plain_row();
+            }
+          } else {
+            plain_row();
           }
           // Pass 2: in-order reduction, matching the scalar engine's
           // source-order accumulation (masked lanes add an exact 0.0).
@@ -305,6 +354,29 @@ class BatchedEngine {
           tfy[i] += accy[ii];
         }
       }
+    };
+
+    std::uint64_t examined = 0;
+    std::uint64_t within = 0;
+    std::uint64_t computed = 0;
+    const std::size_t nchunks = nt == 0 ? 0 : (nt + tile - 1) / tile;
+    if (pool != nullptr && pool->thread_count() > 1 && nchunks > 1) {
+      // Counters fold through per-task locals into relaxed atomics —
+      // integer sums, exact in any order.
+      std::atomic<std::uint64_t> aex{0}, awi{0}, aco{0};
+      pool->parallel_tasks(static_cast<int>(nchunks), [&](int c, int) {
+        std::uint64_t ex = 0, wi = 0, co = 0;
+        sweep_chunk(static_cast<std::size_t>(c) * tile, ex, wi, co);
+        aex.fetch_add(ex, std::memory_order_relaxed);
+        awi.fetch_add(wi, std::memory_order_relaxed);
+        aco.fetch_add(co, std::memory_order_relaxed);
+      });
+      examined = aex.load(std::memory_order_relaxed);
+      within = awi.load(std::memory_order_relaxed);
+      computed = aco.load(std::memory_order_relaxed);
+    } else {
+      for (std::size_t i0 = 0; i0 < nt; i0 += tile)
+        sweep_chunk(i0, examined, within, computed);
     }
     return {examined, within, computed, /*half_sweep=*/false};
   }
@@ -347,14 +419,22 @@ class BatchedEngine {
   /// compares per unordered pair — exact small integers in double), so the
   /// vmpi ledger charge is identical to the full sweep's. `computed`
   /// reports the lanes actually evaluated: ~half of the full sweep's.
+  ///
+  /// Scheduling note: the N3L scatter writes -f across the whole block, so
+  /// tile pairs are NOT disjoint tasks — the half-sweep is a serial unit
+  /// and deliberately takes no pool. Host parallelism lives one level up
+  /// (per-rank and per-cell task fan-out), where state is disjoint; a
+  /// parallel full `sweep` is the alternative when a caller wants
+  /// intra-block threading badly enough to forfeit the 2x halving.
   template <ForceKernel K, class TgtT, class SrcT>
   static InteractionCount sweep_self(TgtT& tgt, const SrcT& src, const Box& box,
                                      const K& kernel, double cutoff,
-                                     std::size_t tile = kTileWidth) {
+                                     std::size_t tile = kTileWidth,
+                                     std::size_t inline_lane_max = kInlineLaneMax) {
     tile = std::clamp<std::size_t>(tile, 1, kTileWidth);
     const std::size_t n = tgt.size();
     if (src.size() != n || n > kMaxHalfBlock)
-      return sweep(tgt, src, box, kernel, cutoff, tile);
+      return sweep(tgt, src, box, kernel, cutoff, tile, inline_lane_max);
 
     const bool periodic = box.boundary == Boundary::Periodic;
     const double lxs = periodic ? box.lx : 0.0;
@@ -423,6 +503,15 @@ class BatchedEngine {
     std::uint64_t within = 0;
     std::uint64_t computed = 0;
 
+    // Same pipeline choice as the full sweep — and because `examined` here
+    // counts the same pairs, the ledger can't see it either.
+    [[maybe_unused]] bool lane_rows = true;
+    if constexpr (LaneBatchedKernel<K>) {
+      if constexpr (K::kLanesExact) {
+        if (n <= inline_lane_max && !simd::fast_rsqrt()) lane_rows = false;
+      }
+    }
+
     // One row's compute pass: lanes j = j0+t for t in [0, len), identical
     // arithmetic to the full sweep's pass 1 / split pass. Two buffer sets
     // let the off-diagonal loop below run two independent rows back to
@@ -440,33 +529,7 @@ class BatchedEngine {
       const std::int32_t idi = pid[i];
       double ci = 1.0;
       if constexpr (K::kCoupling != Coupling::None) ci = static_cast<double>(pcpl[i]);
-      if constexpr (LaneBatchedKernel<K>) {
-        double r2b[kTileWidth];
-        double mg[kTileWidth];
-        double cb[kTileWidth];
-        for (std::size_t t = 0; t < len; ++t) {
-          const std::size_t j = j0 + t;
-          double dx = xi - static_cast<double>(px[j]);
-          double dy = dimy * (yi - static_cast<double>(py[j]));
-          dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
-          dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
-          const double r2 = dx * dx + dy * dy;
-          const double m =
-              static_cast<double>(idi != pid[j]) * static_cast<double>(r2 <= cut2);
-          gx[t] = dx;
-          gy[t] = dy;
-          gm[t] = m;
-          r2b[t] = r2 + (1.0 - m);
-          if constexpr (K::kCoupling != Coupling::None)
-            cb[t] = ci * static_cast<double>(pcpl[j]);
-        }
-        kernel.magnitude_lanes(r2b, cb, mg, len);
-        for (std::size_t t = 0; t < len; ++t) {
-          const double mag = mg[t] * gm[t];
-          gx[t] *= mag;
-          gy[t] *= mag;
-        }
-      } else {
+      const auto plain_row = [&] {
         for (std::size_t t = 0; t < len; ++t) {
           const std::size_t j = j0 + t;
           double dx = xi - static_cast<double>(px[j]);
@@ -485,6 +548,39 @@ class BatchedEngine {
           gy[t] = mag * dy;
           gm[t] = m;
         }
+      };
+      if constexpr (LaneBatchedKernel<K>) {
+        if (lane_rows) {
+          double r2b[kTileWidth];
+          double mg[kTileWidth];
+          double cb[kTileWidth];
+          for (std::size_t t = 0; t < len; ++t) {
+            const std::size_t j = j0 + t;
+            double dx = xi - static_cast<double>(px[j]);
+            double dy = dimy * (yi - static_cast<double>(py[j]));
+            dx -= lxs * (static_cast<double>(dx > hx) - static_cast<double>(dx < -hx));
+            dy -= lys * (static_cast<double>(dy > hy) - static_cast<double>(dy < -hy));
+            const double r2 = dx * dx + dy * dy;
+            const double m =
+                static_cast<double>(idi != pid[j]) * static_cast<double>(r2 <= cut2);
+            gx[t] = dx;
+            gy[t] = dy;
+            gm[t] = m;
+            r2b[t] = r2 + (1.0 - m);
+            if constexpr (K::kCoupling != Coupling::None)
+              cb[t] = ci * static_cast<double>(pcpl[j]);
+          }
+          kernel.magnitude_lanes(r2b, cb, mg, len);
+          for (std::size_t t = 0; t < len; ++t) {
+            const double mag = mg[t] * gm[t];
+            gx[t] *= mag;
+            gy[t] *= mag;
+          }
+        } else {
+          plain_row();
+        }
+      } else {
+        plain_row();
       }
       computed += static_cast<std::uint64_t>(len);
     };
@@ -663,6 +759,10 @@ class BatchedEngine {
 struct SweepTuning {
   bool half_sweep = true;                          ///< N3L path for self-interactions
   std::size_t tile = BatchedEngine::kTileWidth;    ///< source-tile width
+  /// Inline-vs-lane pipeline threshold for exact-lane kernels (see
+  /// BatchedEngine::kInlineLaneMax). The default is the seeded table value
+  /// that fixes the PR 6 small-block regression without a calibration run.
+  std::size_t inline_lane_max = BatchedEngine::kInlineLaneMax;
 };
 
 /// Scalar block-block sweep over resident SoA lanes: pair-for-pair the same
@@ -729,8 +829,10 @@ InteractionCount interact_blocks(KernelEngine engine, SoaBlock& resident,
                                  const SweepTuning& tuning = {}) {
   if (engine == KernelEngine::Batched) {
     if (same_block && tuning.half_sweep)
-      return BatchedEngine::sweep_self(resident, visitor, box, kernel, cutoff, tuning.tile);
-    return BatchedEngine::sweep(resident, visitor, box, kernel, cutoff, tuning.tile);
+      return BatchedEngine::sweep_self(resident, visitor, box, kernel, cutoff, tuning.tile,
+                                       tuning.inline_lane_max);
+    return BatchedEngine::sweep(resident, visitor, box, kernel, cutoff, tuning.tile,
+                                tuning.inline_lane_max);
   }
   return accumulate_forces_scalar(resident, visitor, box, kernel, cutoff);
 }
@@ -745,28 +847,32 @@ InteractionCount accumulate_forces_batched(std::span<Particle> targets,
                                            std::span<const Particle> sources, const Box& box,
                                            const K& kernel, double cutoff = 0.0,
                                            SweepScratch* scratch = nullptr,
-                                           const SweepTuning& tuning = {}) {
+                                           const SweepTuning& tuning = {},
+                                           ThreadPool* pool = nullptr) {
   SweepScratch local;
   SweepScratch& s = scratch ? *scratch : local;
   s.targets.pack(targets, box);
   // A self sweep (the same span on both sides) packs once and, when the
-  // tuning allows it, takes the N3L half-sweep.
+  // tuning allows it, takes the N3L half-sweep (a serial unit — see
+  // sweep_self; full sweeps fan target tiles over the pool).
   const bool self = targets.data() == sources.data() && targets.size() == sources.size();
   if (self) {
     if (tuning.half_sweep) {
-      const InteractionCount count =
-          BatchedEngine::sweep_self(s.targets, s.targets, box, kernel, cutoff, tuning.tile);
+      const InteractionCount count = BatchedEngine::sweep_self(
+          s.targets, s.targets, box, kernel, cutoff, tuning.tile, tuning.inline_lane_max);
       s.targets.scatter_add_forces(targets);
       return count;
     }
     const InteractionCount count =
-        BatchedEngine::sweep(s.targets, s.targets, box, kernel, cutoff, tuning.tile);
+        BatchedEngine::sweep(s.targets, s.targets, box, kernel, cutoff, tuning.tile,
+                             tuning.inline_lane_max, pool);
     s.targets.scatter_add_forces(targets);
     return count;
   }
   s.sources.pack(sources, box);
   const InteractionCount count =
-      BatchedEngine::sweep(s.targets, s.sources, box, kernel, cutoff, tuning.tile);
+      BatchedEngine::sweep(s.targets, s.sources, box, kernel, cutoff, tuning.tile,
+                           tuning.inline_lane_max, pool);
   s.targets.scatter_add_forces(targets);
   return count;
 }
@@ -777,9 +883,11 @@ InteractionCount accumulate_forces_with(KernelEngine engine, std::span<Particle>
                                         std::span<const Particle> sources, const Box& box,
                                         const K& kernel, double cutoff = 0.0,
                                         SweepScratch* scratch = nullptr,
-                                        const SweepTuning& tuning = {}) {
+                                        const SweepTuning& tuning = {},
+                                        ThreadPool* pool = nullptr) {
   if (engine == KernelEngine::Batched)
-    return accumulate_forces_batched(targets, sources, box, kernel, cutoff, scratch, tuning);
+    return accumulate_forces_batched(targets, sources, box, kernel, cutoff, scratch, tuning,
+                                     pool);
   return accumulate_forces(targets, sources, box, kernel, cutoff);
 }
 

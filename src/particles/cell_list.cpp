@@ -52,7 +52,16 @@ void CellList::build(const SoaBlock& ps, ThreadPool* pool) {
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {
-    pool->parallel_for_chunks(0, static_cast<int>(n), index_range);
+    // Fixed-size index chunks as scheduler tasks: each task writes a
+    // disjoint flat_cell_ slice, so any schedule (static or stealing)
+    // produces identical bins. Chunking finer than one-range-per-worker
+    // lets stealing absorb binning skew from clustered inputs.
+    constexpr int kBinChunk = 4096;
+    const int total = static_cast<int>(n);
+    const int ntasks = (total + kBinChunk - 1) / kBinChunk;
+    pool->parallel_tasks(ntasks, [&](int t, int) {
+      index_range(t * kBinChunk, std::min(total, (t + 1) * kBinChunk));
+    });
   } else {
     index_range(0, static_cast<int>(n));
   }
@@ -61,6 +70,26 @@ void CellList::build(const SoaBlock& ps, ThreadPool* pool) {
   for (std::size_t i = 0; i < n; ++i) {
     bins_[static_cast<std::size_t>(flat_cell_[i])].push_back(static_cast<int>(i));
   }
+}
+
+void CellList::nonempty_cells(std::vector<int>& out) const {
+  for (std::size_t f = 0; f < bins_.size(); ++f)
+    if (!bins_[f].empty()) out.push_back(static_cast<int>(f));
+}
+
+void CellList::gather_neighborhood(int flat, std::vector<int>& out) const {
+  visit_neighborhood(flat % nx_, flat / nx_, [&](int cx2, int cy2) {
+    const auto& b = bin(cx2, cy2);
+    out.insert(out.end(), b.begin(), b.end());
+  });
+}
+
+int CellList::neighborhood_count(int flat) const noexcept {
+  int count = 0;
+  visit_neighborhood(flat % nx_, flat / nx_, [&](int cx2, int cy2) {
+    count += static_cast<int>(bin(cx2, cy2).size());
+  });
+  return count;
 }
 
 }  // namespace canb::particles

@@ -76,6 +76,24 @@ class CellList {
     }
   }
 
+  /// Indexed access for task-based dispatch: appends the flat indices of
+  /// every non-empty cell, row-major — exactly the visit order of
+  /// for_cell_neighborhoods, so a task list over this order reproduces the
+  /// serial sweep cell by cell.
+  void nonempty_cells(std::vector<int>& out) const;
+  /// The particle indices binned in flat cell `flat`.
+  std::span<const int> cell_items(int flat) const noexcept {
+    const auto& b = bins_[static_cast<std::size_t>(flat)];
+    return {b.data(), b.size()};
+  }
+  /// Appends the neighborhood of `flat` (every bin within one cell,
+  /// including itself) in the for_cell_neighborhoods gather order.
+  void gather_neighborhood(int flat, std::vector<int>& out) const;
+  /// Particle count over the neighborhood of `flat` — the per-cell row of
+  /// the interaction-count histogram (|cell| * this = examined pairs),
+  /// used as scheduler cost hints.
+  int neighborhood_count(int flat) const noexcept;
+
   /// Index of the bin containing the given position.
   std::pair<int, int> bin_of(double px, double py) const noexcept;
   /// Index of the bin containing the particle.
@@ -132,6 +150,45 @@ std::uint64_t cell_list_forces(SoaBlock& ps, const Box& box, const K& kernel, do
   cl.build(ps, pool);
   std::uint64_t applied = 0;
   if (engine == KernelEngine::Batched) {
+    if (pool != nullptr && pool->thread_count() > 1) {
+      // Task-based cell sweep: one task per non-empty cell, cost-hinted by
+      // the cell's interaction-count histogram row. Each particle belongs
+      // to exactly one cell, so scatter targets are disjoint across tasks
+      // and each cell's fold runs serially inside its task — forces are
+      // bitwise identical to the serial sweep for any schedule (static or
+      // stealing) and any thread count. Applied counts are integers, so
+      // the per-worker partial sums below are exact too.
+      const int workers = pool->thread_count();
+      std::vector<int> cells;
+      cl.nonempty_cells(cells);
+      const int ntasks = static_cast<int>(cells.size());
+      std::vector<double> cost(static_cast<std::size_t>(ntasks));
+      for (int t = 0; t < ntasks; ++t)
+        cost[static_cast<std::size_t>(t)] =
+            static_cast<double>(cl.cell_items(cells[static_cast<std::size_t>(t)]).size()) *
+            static_cast<double>(cl.neighborhood_count(cells[static_cast<std::size_t>(t)]));
+      std::vector<SweepScratch> scratches(static_cast<std::size_t>(workers));
+      std::vector<std::vector<int>> neighs(static_cast<std::size_t>(workers));
+      std::vector<std::uint64_t> partial(static_cast<std::size_t>(workers), 0);
+      pool->parallel_tasks(
+          ntasks,
+          [&](int t, int w) {
+            const int flat = cells[static_cast<std::size_t>(t)];
+            const auto cell = cl.cell_items(flat);
+            auto& neigh = neighs[static_cast<std::size_t>(w)];
+            neigh.clear();
+            cl.gather_neighborhood(flat, neigh);
+            auto& s = scratches[static_cast<std::size_t>(w)];
+            s.targets.pack_gather(ps, cell, box);
+            s.sources.pack_gather(ps, std::span<const int>(neigh), box);
+            partial[static_cast<std::size_t>(w)] +=
+                BatchedEngine::sweep(s.targets, s.sources, box, kernel, cutoff).within_cutoff;
+            s.targets.scatter_add_forces(ps, cell);
+          },
+          cost.data());
+      for (const std::uint64_t c : partial) applied += c;
+      return applied;
+    }
     SweepScratch local;
     SweepScratch& s = scratch ? *scratch : local;
     cl.for_cell_neighborhoods([&](std::span<const int> cell, std::span<const int> neigh) {

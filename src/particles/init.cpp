@@ -142,6 +142,70 @@ Block init_two_stream(int n, const Box& box, double drift, double thermal, std::
   return out;
 }
 
+Block init_plummer(int n, const Box& box, double core_radius_fraction, std::uint64_t seed,
+                   double speed_scale) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  CANB_REQUIRE(core_radius_fraction > 0.0 && core_radius_fraction <= 1.0,
+               "plummer core radius fraction must be in (0, 1]");
+  box.validate();
+  Xoshiro256 rng(seed);
+  const double cx = 0.5 * box.lx;
+  const double cy = box.dims == 2 ? 0.5 * box.ly : 0.0;
+  const double a = core_radius_fraction * (box.dims == 2 ? std::min(box.lx, box.ly) : box.lx);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    double x = 0.0;
+    double y = 0.0;
+    // Redraw until inside the box: rejection keeps the profile exact where
+    // it matters (the core) and is deterministic — the draw sequence is a
+    // pure function of the seed.
+    for (;;) {
+      // Inverse CDF of the Plummer cumulative mass: M(r)/M = r^3/(r^2+a^2)^{3/2}.
+      const double u = rng.uniform();
+      const double um = std::max(u, 1e-12);
+      const double r = a / std::sqrt(std::pow(um, -2.0 / 3.0) - 1.0 + 1e-12);
+      const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      x = cx + r * std::cos(theta);
+      y = box.dims == 2 ? cy + r * std::sin(theta) : 0.0;
+      if (x >= 0.0 && x <= box.lx && (box.dims == 1 || (y >= 0.0 && y <= box.ly))) break;
+    }
+    p.px = static_cast<float>(x);
+    p.py = static_cast<float>(y);
+    p.vx = static_cast<float>(rng.normal() * speed_scale);
+    p.vy = box.dims == 2 ? static_cast<float>(rng.normal() * speed_scale) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
+Block init_ring(int n, const Box& box, double radius_fraction, double width_fraction,
+                std::uint64_t seed, double speed_scale) {
+  CANB_REQUIRE(n >= 0, "particle count must be non-negative");
+  CANB_REQUIRE(radius_fraction > 0.0 && radius_fraction <= 1.0,
+               "ring radius fraction must be in (0, 1]");
+  CANB_REQUIRE(width_fraction >= 0.0, "ring width fraction must be non-negative");
+  box.validate();
+  Xoshiro256 rng(seed);
+  const double cx = 0.5 * box.lx;
+  const double cy = box.dims == 2 ? 0.5 * box.ly : 0.0;
+  const double rmax = 0.5 * (box.dims == 2 ? std::min(box.lx, box.ly) : box.lx);
+  Block out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& p = out[static_cast<std::size_t>(i)];
+    const double r = radius_fraction * rmax + rng.normal() * width_fraction * rmax;
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    double x = std::clamp(cx + r * std::cos(theta), 0.0, box.lx);
+    double y = box.dims == 2 ? std::clamp(cy + r * std::sin(theta), 0.0, box.ly) : 0.0;
+    p.px = static_cast<float>(x);
+    p.py = static_cast<float>(y);
+    p.vx = static_cast<float>(rng.normal() * speed_scale);
+    p.vy = box.dims == 2 ? static_cast<float>(rng.normal() * speed_scale) : 0.0f;
+    finalize(p, i);
+  }
+  return out;
+}
+
 void sort_by_id(Block& b) {
   std::sort(b.begin(), b.end(), [](const Particle& a, const Particle& c) { return a.id < c.id; });
 }

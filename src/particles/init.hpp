@@ -33,6 +33,23 @@ Block init_gradient(int n, const Box& box, double slope, std::uint64_t seed);
 /// +x, bottom half -x, at `drift` speed with thermal jitter.
 Block init_two_stream(int n, const Box& box, double drift, double thermal, std::uint64_t seed);
 
+/// Plummer-profile sphere centered in the box: radius sampled by the
+/// inverse CDF r = a / sqrt(u^{-2/3} - 1) with scale a =
+/// core_radius_fraction * min(lx, ly), angle uniform; positions outside
+/// the box redraw (deterministically). The canonical clustered workload —
+/// most mass inside ~1.3a with a thin far tail, so spatial decompositions
+/// see a dense-core interaction histogram orders of magnitude above the
+/// mean (the work-stealing bench input).
+Block init_plummer(int n, const Box& box, double core_radius_fraction, std::uint64_t seed,
+                   double speed_scale = 0.0);
+
+/// Ring/annulus centered in the box: radius ~ N(radius_fraction * R,
+/// width_fraction * R) with R = min(lx, ly) / 2, angle uniform, clamped
+/// into the box. Density concentrates on a 1D curve through 2D space —
+/// cells on the ring are heavy, cells off it empty.
+Block init_ring(int n, const Box& box, double radius_fraction, double width_fraction,
+                std::uint64_t seed, double speed_scale = 0.0);
+
 /// Sorts by id (tests compare gathered outputs in id order).
 void sort_by_id(Block& b);
 

@@ -108,6 +108,10 @@ struct InverseSquareRepulsion {
 
   static constexpr Coupling kCoupling = Coupling::Charge;
   static constexpr const char* kName = "inverse_square";
+  /// magnitude_lanes is bitwise-equal to magnitude (modulo the opt-in fast
+  /// rsqrt path), so the engine may freely switch between the inline and
+  /// lane pipelines per block size without changing results.
+  static constexpr bool kLanesExact = true;
 
   /// Magnitude c/d2 along the unit vector (dx,dy)/r — i.e. c/d2^{3/2} * d.
   double magnitude(double r2, double coupling) const noexcept {
@@ -139,6 +143,8 @@ struct Gravity {
 
   static constexpr Coupling kCoupling = Coupling::Mass;
   static constexpr const char* kName = "gravity";
+  /// See InverseSquareRepulsion::kLanesExact — same inverse-cube lanes.
+  static constexpr bool kLanesExact = true;
 
   double magnitude(double r2, double coupling) const noexcept {
     const double c = -g * coupling;
@@ -197,6 +203,10 @@ struct Yukawa {
 
   static constexpr Coupling kCoupling = Coupling::Charge;
   static constexpr const char* kName = "yukawa";
+  /// exp_lanes is ~5e-14 relative vs std::exp, NOT bitwise-equal: the
+  /// engine must never switch this kernel between the inline and lane
+  /// pipelines at runtime (results would depend on block size).
+  static constexpr bool kLanesExact = false;
 
   /// d/dr [ c e^{-r/L} / r ] gives magnitude c e^{-r/L} (1/r^2 + 1/(L r)).
   double magnitude(double r2, double coupling) const noexcept {
@@ -242,6 +252,8 @@ struct Morse {
 
   static constexpr Coupling kCoupling = Coupling::None;
   static constexpr const char* kName = "morse";
+  /// See Yukawa::kLanesExact — exp_lanes is approximate, never switch.
+  static constexpr bool kLanesExact = false;
 
   /// -dU/dr = -2 D a e (1 - e); positive magnitude pushes apart (r < r0).
   double magnitude(double r2, double /*coupling*/) const noexcept {

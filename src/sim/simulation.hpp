@@ -91,12 +91,24 @@ class Simulation {
     /// Host wall time only, like `engine`; overwritten by the tuner when
     /// `tune` is not Off.
     particles::SweepTuning sweep{};
+    /// Host task scheduler for the attached pool (support/parallel.hpp):
+    /// installed on the pool by set_host_pool. Execution order only —
+    /// trajectories, ledgers, and traces are bitwise identical under
+    /// static and stealing (property-tested). Overwritten by the tuner
+    /// when `tune` is not Off.
+    SchedMode sched = SchedMode::kStatic;
+    /// Max tasks clipped per steal (stealing mode only; clamped >= 1).
+    int steal_grain = 1;
     /// Host autotuning. Off leaves `engine`/`sweep`/SIMD dispatch exactly
     /// as configured; Auto/Force run core::HostTuner at construction and
-    /// install its choice (engine, sweep knobs, SIMD backend). The tuned
-    /// thread count is reported via tuned() — attaching a pool is still
-    /// the caller's call (set_host_pool).
+    /// install its choice (engine, sweep knobs, scheduler, SIMD backend).
+    /// The tuned thread count is reported via tuned() — attaching a pool
+    /// is still the caller's call (set_host_pool).
     TuneMode tune = TuneMode::Off;
+    /// Workload-shape label for the tuner ("uniform", "plummer", "ring",
+    /// "clusters"): shapes its calibration particles and keys the cache
+    /// entry. Ignored when `tune` is Off.
+    std::string tune_distribution = "uniform";
     /// Tuning-cache path (docs/TUNING.md). Empty = calibrate in-process
     /// without persistence. Ignored when `tune` is Off.
     std::string tune_cache;
@@ -158,8 +170,15 @@ class Simulation {
   }
 
   /// Attaches a host thread pool to engines that support parallel force
-  /// loops (the CA engines); a no-op for the simple baselines.
+  /// loops (the CA engines); a no-op for the simple baselines. Installs
+  /// the configured (or tuned) scheduler mode and steal grain on the pool
+  /// and keeps a reference so finalize_telemetry can publish its stats.
   void set_host_pool(std::shared_ptr<ThreadPool> pool) {
+    if (pool) {
+      pool->set_sched_mode(cfg_.sched);
+      pool->set_steal_grain(cfg_.steal_grain);
+      pool_ = pool;
+    }
     std::visit(
         [&](auto& e) {
           if constexpr (requires { e.set_host_pool(pool); }) e.set_host_pool(std::move(pool));
@@ -212,6 +231,9 @@ class Simulation {
   /// Call after the last step.
   obs::CriticalPathReport finalize_telemetry() {
     if (!telemetry_) return {};
+    if (pool_) {
+      telemetry_->publish_scheduler(to_string(pool_->sched_mode()), pool_->scheduler_stats());
+    }
     telemetry_->finalize(comm());
     return obs::analyze_critical_path(telemetry_->spans(), telemetry_->trace());
   }
@@ -253,6 +275,7 @@ class Simulation {
     tcfg.kernel = cfg.kernel;
     tcfg.cutoff = cfg.cutoff;
     tcfg.n = bn;
+    tcfg.distribution = cfg.tune_distribution;
     core::HostTuner<K> tuner(std::move(tcfg));
 
     typename core::HostTuner<K>::Result result;
@@ -265,6 +288,8 @@ class Simulation {
     }
     cfg.engine = result.best.engine;
     cfg.sweep = result.best.tuning;
+    cfg.sched = result.best.sched;
+    cfg.steal_grain = result.best.steal_grain;
     particles::simd::set_backend(result.best.backend);
     return result.best;
   }
@@ -377,6 +402,9 @@ class Simulation {
   std::unique_ptr<obs::Telemetry> telemetry_;
   /// The run-wide host data plane (null when pooled_data_plane is false).
   std::shared_ptr<vmpi::DataPlane<Buffer>> plane_;
+  /// The attached host pool (null until set_host_pool): kept so
+  /// finalize_telemetry can publish the scheduler's counters.
+  std::shared_ptr<ThreadPool> pool_;
   int steps_ = 0;
 };
 

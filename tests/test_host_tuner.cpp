@@ -46,6 +46,10 @@ HostTuneEntry sample_entry() {
   e.half_sweep = true;
   e.threads = 4;
   e.backend = "sse2";
+  e.sched = "stealing";
+  e.steal_grain = 2;
+  e.inline_lane_max = 192;
+  e.distribution = "plummer";
   e.pairs_per_sec = 3.0517578125e8;
   return e;
 }
@@ -80,6 +84,10 @@ TEST(TuningCache, SaveLoadRoundTripsEveryField) {
   b.half_sweep = false;
   b.threads = 1;
   b.backend = "avx2";
+  b.sched = "static";
+  b.steal_grain = 1;
+  b.inline_lane_max = 0;
+  b.distribution = "uniform";
   cache.put(a);
   cache.put(b);
   ASSERT_TRUE(cache.save(path));
@@ -87,20 +95,27 @@ TEST(TuningCache, SaveLoadRoundTripsEveryField) {
   const TuningCache loaded = TuningCache::load_or_empty(path);
   ASSERT_EQ(loaded.entries().size(), 2u);
   for (const HostTuneEntry& want : {a, b}) {
-    const HostTuneEntry* got = loaded.find(want.kernel, want.n);
+    const HostTuneEntry* got = loaded.find(want.kernel, want.n, want.distribution);
     ASSERT_NE(got, nullptr) << want.kernel;
     EXPECT_EQ(got->engine, want.engine);
     EXPECT_EQ(got->tile, want.tile);
     EXPECT_EQ(got->half_sweep, want.half_sweep);
     EXPECT_EQ(got->threads, want.threads);
     EXPECT_EQ(got->backend, want.backend);
+    EXPECT_EQ(got->sched, want.sched);
+    EXPECT_EQ(got->steal_grain, want.steal_grain);
+    EXPECT_EQ(got->inline_lane_max, want.inline_lane_max);
+    EXPECT_EQ(got->distribution, want.distribution);
     EXPECT_EQ(got->pairs_per_sec, want.pairs_per_sec);
   }
   EXPECT_EQ(loaded.find("inverse_square", 999), nullptr);
+  // The cache keys on distribution too: same (kernel, n) under a different
+  // workload shape is a different entry.
+  EXPECT_EQ(loaded.find("inverse_square", 1024, "uniform"), nullptr);
   std::remove(path.c_str());
 }
 
-TEST(TuningCache, PutUpsertsByKernelAndSize) {
+TEST(TuningCache, PutUpsertsByKernelSizeAndDistribution) {
   TuningCache cache;
   cache.put(sample_entry());
   HostTuneEntry updated = sample_entry();
@@ -114,16 +129,56 @@ TEST(TuningCache, PutUpsertsByKernelAndSize) {
   other.n = 2048;
   cache.put(other);
   EXPECT_EQ(cache.entries().size(), 2u);
+
+  HostTuneEntry shaped = sample_entry();
+  shaped.distribution = "uniform";  // same kernel + n, new workload shape
+  cache.put(shaped);
+  EXPECT_EQ(cache.entries().size(), 3u);
 }
 
 TEST(TuningCache, CorruptFileYieldsEmptyCache) {
   const std::string path = temp_path("tuning_corrupt.json");
   for (const char* text : {"", "{ not json at all", "[1,2,3]",
-                           "{\"schema\": \"canb-host-tuning-v1\", \"entries\": 7}"}) {
+                           "{\"schema\": \"canb-host-tuning-v2\", \"entries\": 7}"}) {
     spit(path, text);
     const TuningCache cache = TuningCache::load_or_empty(path);
     EXPECT_TRUE(cache.entries().empty()) << "text: " << text;
     EXPECT_EQ(cache.machine(), TuningCache::machine_key());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningCache, V1SchemaFileIsDiscardedWhole) {
+  // A pre-scheduler cache (schema v1, no sched/steal_grain/distribution
+  // fields) must be dropped by the schema gate, not half-parsed.
+  const std::string path = temp_path("tuning_v1.json");
+  std::string v1 = "{\n  \"schema\": \"canb-host-tuning-v1\",\n  \"machine\": ";
+  v1 += '"' + TuningCache::machine_key() + "\",\n  \"build\": \"" + TuningCache::build_key();
+  v1 +=
+      "\",\n  \"entries\": [\n    {\"kernel\": \"inverse_square\", \"n\": 1024, "
+      "\"engine\": \"batched\", \"tile\": 32, \"half_sweep\": true, \"threads\": 4, "
+      "\"backend\": \"sse2\", \"pairs_per_sec\": 3e8}\n  ]\n}\n";
+  spit(path, v1);
+  EXPECT_TRUE(TuningCache::load_or_empty(path).entries().empty());
+  std::remove(path.c_str());
+}
+
+TEST(TuningCache, EntryMissingSchedulerFieldsDiscardsWholeFile) {
+  // v2 schema claiming a v1-shaped entry: every new field is mandatory.
+  const std::string path = temp_path("tuning_missing_sched.json");
+  TuningCache cache;
+  cache.put(sample_entry());
+  ASSERT_TRUE(cache.save(path));
+  std::string text = slurp(path);
+  for (const char* field :
+       {"\"sched\": \"stealing\", ", "\"steal_grain\": 2, ", "\"inline_lane_max\": 192, ",
+        "\"distribution\": \"plummer\", "}) {
+    std::string pruned = text;
+    const auto pos = pruned.find(field);
+    ASSERT_NE(pos, std::string::npos) << field;
+    pruned.erase(pos, std::string(field).size());
+    spit(path, pruned);
+    EXPECT_TRUE(TuningCache::load_or_empty(path).entries().empty()) << "pruned: " << field;
   }
   std::remove(path.c_str());
 }
@@ -167,6 +222,17 @@ TEST(TuningCache, InvalidEntryFieldDiscardsWholeFile) {
   text.replace(pos, 6, "\"mmx\"");  // unknown backend: fail closed, re-tune
   spit(path, text);
   EXPECT_TRUE(TuningCache::load_or_empty(path).entries().empty());
+
+  text = slurp(path);  // restore is easier via a fresh save
+  TuningCache again;
+  again.put(sample_entry());
+  ASSERT_TRUE(again.save(path));
+  text = slurp(path);
+  const auto spos = text.find("\"stealing\"");
+  ASSERT_NE(spos, std::string::npos);
+  text.replace(spos, 10, "\"wishful\"");  // unknown scheduler mode: same rule
+  spit(path, text);
+  EXPECT_TRUE(TuningCache::load_or_empty(path).entries().empty());
   std::remove(path.c_str());
 }
 
@@ -178,11 +244,14 @@ TEST(TuneChoice, EntryRoundTripsThroughChoice) {
   EXPECT_EQ(c.engine, particles::KernelEngine::Batched);
   EXPECT_EQ(c.tuning.tile, e.tile);
   EXPECT_EQ(c.tuning.half_sweep, e.half_sweep);
+  EXPECT_EQ(c.tuning.inline_lane_max, e.inline_lane_max);
   EXPECT_EQ(c.threads, e.threads);
+  EXPECT_EQ(c.sched, canb::SchedMode::kStealing);
+  EXPECT_EQ(c.steal_grain, e.steal_grain);
   EXPECT_TRUE(c.from_cache);
   EXPECT_EQ(c.pairs_per_sec, e.pairs_per_sec);
 
-  const HostTuneEntry back = core::entry_from_choice(e.kernel, e.n, c);
+  const HostTuneEntry back = core::entry_from_choice(e.kernel, e.n, e.distribution, c);
   EXPECT_EQ(back.kernel, e.kernel);
   EXPECT_EQ(back.n, e.n);
   EXPECT_EQ(back.engine, e.engine);
@@ -190,6 +259,20 @@ TEST(TuneChoice, EntryRoundTripsThroughChoice) {
   EXPECT_EQ(back.half_sweep, e.half_sweep);
   EXPECT_EQ(back.threads, e.threads);
   EXPECT_EQ(back.backend, e.backend);
+  EXPECT_EQ(back.sched, e.sched);
+  EXPECT_EQ(back.steal_grain, e.steal_grain);
+  EXPECT_EQ(back.inline_lane_max, e.inline_lane_max);
+  EXPECT_EQ(back.distribution, e.distribution);
+}
+
+TEST(TuneChoice, MeasuredThroughputFeedsMachineGamma) {
+  machine::MachineModel m;
+  m.gamma = 5e-8;  // the preset's nominal constant
+  HostTuneChoice c;
+  c.pairs_per_sec = 0.0;  // no measurement: model unchanged
+  EXPECT_EQ(core::with_measured_gamma(m, c).gamma, 5e-8);
+  c.pairs_per_sec = 2.5e8;
+  EXPECT_DOUBLE_EQ(core::with_measured_gamma(m, c).gamma, 4e-9);
 }
 
 TEST(TuneChoice, BackendClampsToHardwareSupport) {
@@ -254,6 +337,25 @@ TEST(HostTunerTest, CacheHitSkipsCalibrationAndForceOverridesIt) {
   const Tuner::Result forced = tuner.tune_with_cache(cache, /*force=*/true);
   EXPECT_FALSE(forced.candidates.empty());
   EXPECT_FALSE(forced.best.from_cache);
+}
+
+TEST(HostTunerTest, ClusteredCalibrationYieldsInstallableSchedulerChoice) {
+  Tuner::Config cfg = quick_config();
+  cfg.distribution = "plummer";  // triggers the skewed scheduler trial
+  const Tuner tuner(cfg);
+  const Tuner::Result result = tuner.tune();
+  EXPECT_GE(result.best.steal_grain, 1);
+  EXPECT_GE(result.best.threads, 1);
+  const core::HostTuneEntry e =
+      core::entry_from_choice("inverse_square", cfg.n, cfg.distribution, result.best);
+  EXPECT_TRUE(canb::parse_sched_mode(e.sched).has_value());
+  EXPECT_EQ(e.distribution, "plummer");
+  // Cache keying separates the shapes: a plummer entry never answers a
+  // uniform lookup.
+  TuningCache cache;
+  cache.put(e);
+  EXPECT_EQ(cache.find("inverse_square", cfg.n, "uniform"), nullptr);
+  EXPECT_NE(cache.find("inverse_square", cfg.n, "plummer"), nullptr);
 }
 
 // --- CLI plumbing ----------------------------------------------------------

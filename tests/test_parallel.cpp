@@ -76,6 +76,121 @@ TEST(ThreadPool, ChunkedVariantPartitionsContiguously) {
   EXPECT_EQ(expected_begin, 103);
 }
 
+// --- parallel_tasks: the work-stealing scheduler --------------------------------
+
+TEST(Scheduler, ModeNamesRoundTrip) {
+  EXPECT_STREQ(to_string(SchedMode::kStatic), "static");
+  EXPECT_STREQ(to_string(SchedMode::kStealing), "stealing");
+  EXPECT_EQ(parse_sched_mode("static"), SchedMode::kStatic);
+  EXPECT_EQ(parse_sched_mode("stealing"), SchedMode::kStealing);
+  EXPECT_FALSE(parse_sched_mode("dynamic").has_value());
+  EXPECT_FALSE(parse_sched_mode("").has_value());
+}
+
+TEST(Scheduler, TasksRunExactlyOnceUnderBothModes) {
+  for (const SchedMode mode : {SchedMode::kStatic, SchedMode::kStealing}) {
+    for (const int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      pool.set_sched_mode(mode);
+      std::vector<std::atomic<int>> hits(513);
+      pool.parallel_tasks(513, [&](int t, int w) {
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, pool.thread_count());
+        hits[static_cast<std::size_t>(t)]++;
+      });
+      for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1) << to_string(mode) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Scheduler, CostHintsCoverEveryTaskEvenWhenSkewed) {
+  ThreadPool pool(4);
+  pool.set_sched_mode(SchedMode::kStealing);
+  // One giant task and a tail of tiny ones: the cost-weighted partition
+  // must still hand every worker at least one task and lose none.
+  std::vector<double> cost(64, 1.0);
+  cost[0] = 1e6;
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_tasks(
+      64, [&](int t, int) { hits[static_cast<std::size_t>(t)]++; }, cost.data());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ZeroAndNegativeTaskCountsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_tasks(0, [&](int, int) { ++calls; });
+  pool.parallel_tasks(-3, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Scheduler, StatsCountCallsTasksAndWorkers) {
+  ThreadPool pool(2);
+  pool.set_sched_mode(SchedMode::kStealing);
+  pool.reset_scheduler_stats();
+  for (int round = 0; round < 3; ++round)
+    pool.parallel_tasks(100, [&](int, int) {});
+  const SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_EQ(stats.tasks, 300u);
+  ASSERT_EQ(stats.tasks_per_worker.size(), 2u);
+  std::uint64_t sum = 0;
+  for (const auto t : stats.tasks_per_worker) sum += t;
+  EXPECT_EQ(sum, 300u);
+  ASSERT_EQ(stats.busy_seconds.size(), 2u);
+  ASSERT_EQ(stats.idle_seconds.size(), 2u);
+
+  pool.reset_scheduler_stats();
+  const SchedulerStats zeroed = pool.scheduler_stats();
+  EXPECT_EQ(zeroed.calls, 0u);
+  EXPECT_EQ(zeroed.tasks, 0u);
+  EXPECT_EQ(zeroed.steals, 0u);
+}
+
+TEST(Scheduler, StealGrainClampsToOne) {
+  ThreadPool pool(2);
+  pool.set_steal_grain(0);
+  EXPECT_EQ(pool.steal_grain(), 1);
+  pool.set_steal_grain(-5);
+  EXPECT_EQ(pool.steal_grain(), 1);
+  pool.set_steal_grain(8);
+  EXPECT_EQ(pool.steal_grain(), 8);
+}
+
+// The TSan target: many rounds of skewed task lists over a stealing pool,
+// with per-task writes to disjoint slots and relaxed shared counters —
+// exactly the access pattern the engines submit. A race in the deque
+// windows, the dispatch flags, or the stats counters shows up here.
+TEST(Scheduler, StealingStressManyRoundsDisjointWrites) {
+  ThreadPool pool(4);
+  pool.set_sched_mode(SchedMode::kStealing);
+  const int tasks = 257;
+  std::vector<double> cost(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t)
+    cost[static_cast<std::size_t>(t)] = (t % 17 == 0) ? 400.0 : 1.0;  // spiky histogram
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(tasks), 0);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    for (const int grain : {1, 2, 4}) {
+      pool.set_steal_grain(grain);
+      pool.parallel_tasks(
+          tasks,
+          [&](int t, int) {
+            // Disjoint per-task slot plus a relaxed shared counter: the two
+            // sanctioned communication patterns under the determinism
+            // contract.
+            out[static_cast<std::size_t>(t)] += static_cast<std::uint64_t>(t) + 1;
+            total.fetch_add(1, std::memory_order_relaxed);
+          },
+          cost.data());
+    }
+  }
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(200 * 3 * tasks));
+  for (int t = 0; t < tasks; ++t)
+    EXPECT_EQ(out[static_cast<std::size_t>(t)], 600ull * (static_cast<std::uint64_t>(t) + 1));
+}
+
 // --- engine determinism across thread counts --------------------------------------
 
 TEST(ThreadPool, EngineResultsBitwiseIdenticalAcrossThreadCounts) {

@@ -28,6 +28,22 @@
 //                 force always re-calibrates. Virtual time is unchanged.
 //   --tune-cache  path to the persisted tuning cache (docs/TUNING.md)
 //
+// Real transport (docs/TRANSPORT.md). The modeled default moves bytes
+// in-process and only charges the virtual clock; shmem/socket run the same
+// schedule over an actual fabric with bitwise-identical output:
+//   --transport        modeled | shmem | socket (default modeled)
+//   --transport-groups socket: number of OS processes (forked here unless
+//                      --transport-group names this process's group)
+//   --transport-group  socket: this process's group index, for externally
+//                      launched groups (requires --transport-dir)
+//   --transport-dir    socket: shared rendezvous directory (default: a
+//                      fresh private temp dir when forking)
+//   --transport-drop   socket: seeded egress drop probability on data
+//                      frames, exercising the reliable channel
+//   --transport-drop-seed  seed for that drop stream (default 1)
+// With --transport=socket only the group-0 process prints and writes
+// output files; the other groups compute, feed the fabric, and exit.
+//
 // Fault injection (deterministic; see vmpi/fault.hpp and docs/TESTING.md).
 // Passing any of these attaches a PerturbationModel to the virtual machine;
 // all-zero rates leave the run bitwise identical to no model at all:
@@ -50,9 +66,11 @@
 // At full level the run also prints the recovered critical path and the
 // report table grows cp-rank / cp(s) / slack(s) columns.
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "core/autotuner.hpp"
@@ -66,6 +84,8 @@
 #include "support/cli.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
+#include "vmpi/socket_transport.hpp"
+#include "vmpi/transport.hpp"
 
 namespace {
 
@@ -120,7 +140,9 @@ int main(int argc, char** argv) {
                       "threads", "sched", "steal-grain", "integrator", "engine",
                       "data-plane", "tune", "tune-cache", "fault-seed", "straggler",
                       "jitter", "drop-rate", "link-degrade", "obs-level", "metrics-out",
-                      "trace-out", "spans-csv"});
+                      "trace-out", "spans-csv", "transport", "transport-groups",
+                      "transport-group", "transport-dir", "transport-drop",
+                      "transport-drop-seed"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -160,6 +182,57 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(args.get_int("steps", 50));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));
 
+  // Real transport selection. The socket arm forks its process group here,
+  // BEFORE any threads exist (the tuner and host pool spawn some), and
+  // before the simulation is built so every group constructs identical
+  // state. `primary` gates every print and file output below: group 0
+  // speaks for the run, the other groups compute, feed the fabric, exit 0.
+  std::unique_ptr<vmpi::ProcessGroup> launch;
+  std::string owned_rendezvous_dir;
+  bool primary = true;
+  {
+    const std::string tname = args.get("transport", "modeled");
+    const auto kind = vmpi::parse_transport_kind(tname);
+    CANB_REQUIRE(kind.has_value(), "unknown --transport (modeled | shmem | socket): " + tname);
+    vmpi::TransportOptions topts;
+    topts.kind = *kind;
+    topts.ranks = cfg.p;
+    topts.drop_rate = args.get_double("transport-drop", 0.0);
+    topts.drop_seed = static_cast<std::uint64_t>(args.get_int("transport-drop-seed", 1));
+    CANB_REQUIRE(*kind == vmpi::TransportKind::Socket ||
+                     (!args.has("transport-groups") && !args.has("transport-group") &&
+                      !args.has("transport-dir") && !args.has("transport-drop")),
+                 "--transport-groups/-group/-dir/-drop need --transport=socket");
+    if (*kind == vmpi::TransportKind::Socket) {
+      topts.groups = static_cast<int>(args.get_int("transport-groups", 2));
+      CANB_REQUIRE(topts.groups >= 1 && topts.groups <= cfg.p,
+                   "--transport-groups must be in [1, p]");
+      if (args.has("transport-group")) {
+        // Externally launched: the caller starts one process per group and
+        // points them all at the same rendezvous directory.
+        topts.group = static_cast<int>(args.get_int("transport-group", 0));
+        CANB_REQUIRE(topts.group >= 0 && topts.group < topts.groups,
+                     "--transport-group must be in [0, transport-groups)");
+        CANB_REQUIRE(args.has("transport-dir"),
+                     "--transport-group needs --transport-dir (shared rendezvous)");
+        topts.dir = args.get("transport-dir", "");
+      } else {
+        if (args.has("transport-dir")) {
+          topts.dir = args.get("transport-dir", "");
+        } else {
+          owned_rendezvous_dir = vmpi::make_rendezvous_dir();
+          topts.dir = owned_rendezvous_dir;
+        }
+        launch = std::make_unique<vmpi::ProcessGroup>(topts.groups);
+        topts.group = launch->group();
+      }
+      primary = topts.group == 0;
+    }
+    // Modeled yields no endpoint by design: the default arm moves bytes
+    // in-process already and attaching nothing keeps it allocation-free.
+    cfg.transport = vmpi::make_transport(topts);
+  }
+
   if (args.has("fault-seed") || args.has("straggler") || args.has("jitter") ||
       args.has("drop-rate") || args.has("link-degrade")) {
     vmpi::FaultConfig fault;
@@ -196,13 +269,19 @@ int main(int argc, char** argv) {
     initial = cp.particles;
     step0 = cp.step;
     time0 = cp.time;
-    std::cout << "restarted from step " << step0 << " (" << initial.size() << " particles)\n";
+    if (primary)
+      std::cout << "restarted from step " << step0 << " (" << initial.size()
+                << " particles)\n";
   } else {
     initial = make_workload(args.get("workload", "uniform"), n, cfg.box, seed);
   }
 
-  Sim simulation(cfg, std::move(initial));
-  if (const auto& tuned = simulation.tuned()) {
+  // Held by pointer so the endpoint can be torn down (flush + barrier +
+  // close, in ~Transport) explicitly before forked children are reaped —
+  // plain destructor order would reap first and deadlock the barrier.
+  auto simulation_ptr = std::make_unique<Sim>(cfg, std::move(initial));
+  Sim& simulation = *simulation_ptr;
+  if (const auto& tuned = simulation.tuned(); primary && tuned.has_value()) {
     std::cout << "host tuner: engine=" << particles::engine_name(tuned->engine)
               << " half-sweep=" << (tuned->tuning.half_sweep ? "on" : "off")
               << " tile=" << tuned->tuning.tile
@@ -222,16 +301,16 @@ int main(int argc, char** argv) {
     // --threads=0: use every hardware thread (minimum 1 when the runtime
     // cannot tell, which hardware_concurrency signals by returning 0).
     threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-    std::cout << "auto-detected " << threads << " host threads\n";
+    if (primary) std::cout << "auto-detected " << threads << " host threads\n";
   }
   if (threads > 1) simulation.set_host_pool(std::make_shared<ThreadPool>(threads));
 
   std::unique_ptr<sim::TrajectoryWriter> xyz;
-  if (args.has("xyz"))
+  if (primary && args.has("xyz"))
     xyz = std::make_unique<sim::TrajectoryWriter>(args.get("xyz", ""),
                                                   sim::TrajectoryWriter::Format::Xyz);
   std::unique_ptr<sim::TrajectoryWriter> csv;
-  if (args.has("csv"))
+  if (primary && args.has("csv"))
     csv = std::make_unique<sim::TrajectoryWriter>(args.get("csv", ""),
                                                   sim::TrajectoryWriter::Format::Csv);
 
@@ -247,9 +326,10 @@ int main(int argc, char** argv) {
   }
 
   const auto final_state = simulation.gather();
-  std::cout << "ran " << steps << " steps of " << sim::method_name(cfg.method) << " on "
-            << cfg.p << " ranks (" << cfg.machine.name << ", c=" << cfg.c << ")\n";
-  if (const auto* fault = simulation.fault_model()) {
+  if (primary)
+    std::cout << "ran " << steps << " steps of " << sim::method_name(cfg.method) << " on "
+              << cfg.p << " ranks (" << cfg.machine.name << ", c=" << cfg.c << ")\n";
+  if (const auto* fault = simulation.fault_model(); primary && fault != nullptr) {
     const auto& ledger = simulation.comm().ledger();
     std::cout << "fault injection: seed=" << fault->config().seed
               << " straggler=" << fault->config().straggler_rate
@@ -260,14 +340,14 @@ int main(int argc, char** argv) {
               << " timeouts across all ranks\n";
   }
 
-  if (args.has("checkpoint")) {
+  if (primary && args.has("checkpoint")) {
     sim::save_checkpoint(args.get("checkpoint", ""),
                          {step0 + steps, time0 + (step0 + steps) * cfg.dt, final_state});
     std::cout << "checkpoint written to " << args.get("checkpoint", "") << "\n";
   }
 
   obs::CriticalPathReport cp;
-  if (auto* telem = simulation.telemetry()) {
+  if (auto* telem = simulation.telemetry(); primary && telem != nullptr) {
     cp = simulation.finalize_telemetry();
     obs::RunManifest manifest;
     manifest.machine = cfg.machine.name;
@@ -323,18 +403,34 @@ int main(int argc, char** argv) {
     if (telem->spans_enabled()) std::cout << obs::format_critical_path(cp);
   }
 
-  if (args.get_bool("report", false)) {
+  if (primary && args.get_bool("report", false)) {
     std::vector<sim::RunReport> reps{simulation.report()};
     if (cp.end_rank >= 0) sim::annotate_critical_path(reps.front(), cp);
     sim::print_reports(std::cout, reps);
   }
 
-  if (args.get_bool("rdf", false)) {
+  if (primary && args.get_bool("rdf", false)) {
     const auto g = particles::radial_distribution(
         std::span<const particles::Particle>(final_state), cfg.box, 0.25, 10);
     std::cout << "g(r) in 10 bins to r=0.25:";
     for (double v : g) std::cout << " " << std::fixed << std::setprecision(2) << v;
     std::cout << "\n";
+  }
+
+  // Fabric teardown while every peer process is still alive: releasing the
+  // last references runs the endpoint's flush + close-barrier. Only then
+  // may the parent reap its children (which exit after the same teardown).
+  simulation_ptr.reset();
+  cfg.transport.reset();
+  if (launch != nullptr) {
+    const int failures = launch->wait_children();
+    if (launch->primary()) {
+      if (!owned_rendezvous_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(owned_rendezvous_dir, ec);
+      }
+      CANB_REQUIRE(failures == 0, "a forked transport group exited nonzero");
+    }
   }
   return 0;
 }

@@ -148,6 +148,17 @@ class CaAllPairs {
   struct Carried {
     Buffer buf{};
     int team = -1;
+
+    // Wire support so the skew/shift rounds can cross a real transport
+    // (wire.hpp): the tag travels with the block, losslessly.
+    void wire_put(wire::Writer& w) const {
+      w.scalar<std::int32_t>(team);
+      wire::put(w, buf);
+    }
+    void wire_get(wire::Reader& r) {
+      team = r.scalar<std::int32_t>();
+      wire::get(r, buf);
+    }
   };
   static std::uint64_t carried_bytes(const Carried& c) noexcept { return Policy::bytes(c.buf); }
 
@@ -253,6 +264,10 @@ class CaAllPairs {
       // output is identical either way (pinned by the bulk-equivalence
       // tests), so this only trades speed for observability.
       if (telem_ != nullptr && telem_->enabled()) return false;
+      // A real transport must see every message cross the fabric; the bulk
+      // shortcut moves nothing, so it would leave unmatched sends/recvs on
+      // peer endpoints.
+      if (vc_.transport() != nullptr) return false;
       const std::uint64_t c0 = Policy::count(resident_[static_cast<std::size_t>(grid_.leader(0))]);
       for (int t = 1; t < grid_.cols(); ++t) {
         if (Policy::count(resident_[static_cast<std::size_t>(grid_.leader(t))]) != c0) return false;

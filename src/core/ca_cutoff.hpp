@@ -15,6 +15,16 @@
 // reflective boundaries, window offsets falling off the team grid are
 // skipped — boundary ranks idle, reproducing the load imbalance the paper
 // reports in Section IV-D2.
+//
+// Every message this engine produces flows through the shared vmpi
+// primitives (broadcast_teams / permute_step via shift machinery /
+// reduce_teams) and reassign_spatial's exchange_lists — nothing here
+// talks to a fabric directly. Attaching a real transport to the
+// VirtualComm (vmpi/transport.hpp, docs/TRANSPORT.md) therefore carries
+// this engine's payloads over shmem or sockets with zero changes to the
+// schedule below: the transport arms live inside those primitives, and
+// trajectories/ledgers/traces stay bitwise identical to the modeled run
+// (tests/test_transport_parity.cpp pins this).
 #pragma once
 
 #include <memory>

@@ -71,6 +71,38 @@ void exchange_lists(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const Cutof
       },
       /*shift_phase=*/false);
   vmpi::detail::HostPhaseTimer timer(vc, vmpi::Phase::Reassign);
+  using Buffer = typename Policy::Buffer;
+  if constexpr (wire::serializable<Buffer>) {
+    // Transport arm: leader-to-leader list shipment. Self-wrapped columns
+    // (reflective boundaries) and remote destinations keep the local
+    // append; locally-owned destinations adopt the wire bytes.
+    if (vmpi::Transport* tp = vc.transport(); tp != nullptr) {
+      const std::uint64_t tag = vc.next_transport_tag();
+      wire::Bytes bytes;
+      for (int t = 0; t < geom.teams(); ++t) {
+        const int src_col = geom.wrap_team(t, off);
+        if (src_col == t) continue;
+        const int src_rank = grid.leader(src_col);
+        if (!tp->local(src_rank)) continue;
+        wire::to_bytes(lists[static_cast<std::size_t>(src_col)], bytes);
+        tp->send(src_rank, grid.leader(t), tag, bytes);
+      }
+      Buffer incoming{};
+      for (int t = 0; t < geom.teams(); ++t) {
+        const int src_col = geom.wrap_team(t, off);
+        const int dst_rank = grid.leader(t);
+        auto& blk = resident[static_cast<std::size_t>(dst_rank)];
+        if (src_col != t && tp->local(dst_rank)) {
+          tp->recv(grid.leader(src_col), dst_rank, tag, bytes);
+          wire::from_bytes(incoming, bytes);
+          blk.append(incoming);
+        } else {
+          blk.append(lists[static_cast<std::size_t>(src_col)]);
+        }
+      }
+      return;
+    }
+  }
   auto body = [&](int b, int e) {
     for (int t = b; t < e; ++t) {
       const int src_col = geom.wrap_team(t, off);

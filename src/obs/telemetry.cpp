@@ -139,6 +139,39 @@ void Telemetry::publish_scheduler(std::string_view mode, const SchedulerStats& s
   }
 }
 
+void Telemetry::publish_transport(std::string_view kind, const vmpi::TransportStats& stats) {
+  if (!enabled() || stats.frames_sent == 0) return;
+  registry_
+      .gauge("canb_transport_info", {{"kind", std::string(kind)}},
+             "real transport in effect (value 1; kind label carries the backend)")
+      .set(1.0);
+  registry_
+      .counter("canb_transport_frames_sent_total", {},
+               "payload frames this endpoint posted to the fabric")
+      .inc(stats.frames_sent);
+  registry_
+      .counter("canb_transport_bytes_sent_total", {}, "payload bytes posted to the fabric")
+      .inc(stats.bytes_sent);
+  registry_
+      .counter("canb_transport_frames_received_total", {},
+               "payload frames delivered into this endpoint's mailboxes")
+      .inc(stats.frames_received);
+  registry_
+      .counter("canb_transport_bytes_received_total", {}, "payload bytes delivered")
+      .inc(stats.bytes_received);
+  registry_
+      .counter("canb_transport_retransmits_total", {},
+               "reliable-channel data frames re-sent after a timeout")
+      .inc(stats.retransmits);
+  registry_
+      .counter("canb_transport_acks_total", {}, "reliable-channel acks emitted")
+      .inc(stats.acks_sent);
+  registry_
+      .counter("canb_transport_duplicates_total", {},
+               "duplicate/stale frames discarded by the reliable channel")
+      .inc(stats.duplicates_dropped);
+}
+
 void Telemetry::finalize(const vmpi::VirtualComm& vc) {
   if (!enabled()) return;
   for (std::size_t i = 0; i < vmpi::kPhaseCount; ++i) {

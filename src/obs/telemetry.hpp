@@ -89,6 +89,14 @@ class Telemetry final : public vmpi::CommObserver {
   /// finalize(); a no-op when the stats carry no calls.
   void publish_scheduler(std::string_view mode, const SchedulerStats& stats);
 
+  /// Publishes real-transport fabric counters (vmpi/transport.hpp):
+  /// canb_transport_frames/bytes sent/received, reliable-channel
+  /// retransmit/ack/duplicate totals, and a canb_transport_info{kind=...}
+  /// marker gauge. Fabric observability only — the virtual-cost ledger is
+  /// charged before any of these bytes move, so these series never feed
+  /// back. Call once before finalize(); a no-op when no frames moved.
+  void publish_transport(std::string_view kind, const vmpi::TransportStats& stats);
+
   /// Folds per-rank accumulators (compute seconds, wait seconds, final
   /// clocks) into registry gauges. Call once after the run.
   void finalize(const vmpi::VirtualComm& vc);

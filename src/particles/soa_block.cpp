@@ -195,4 +195,37 @@ void SoaBlock::clear_forces() noexcept {
   for (auto& f : fy) f = 0.0;
 }
 
+void SoaBlock::wire_put(wire::Writer& w) const {
+  w.scalar<std::uint64_t>(size());
+  w.lane(px);
+  w.lane(py);
+  w.lane(vx);
+  w.lane(vy);
+  w.lane(fx);
+  w.lane(fy);
+  w.lane(mass);
+  w.lane(charge);
+  w.lane(id);
+  w.lane(aux0);
+  w.lane(aux1);
+}
+
+void SoaBlock::wire_get(wire::Reader& r) {
+  const auto n = static_cast<std::size_t>(r.scalar<std::uint64_t>());
+  r.lane(px);
+  r.lane(py);
+  r.lane(vx);
+  r.lane(vy);
+  r.lane(fx);
+  r.lane(fy);
+  r.lane(mass);
+  r.lane(charge);
+  r.lane(id);
+  r.lane(aux0);
+  r.lane(aux1);
+  // Replica blocks carry short velocity/aux lanes by contract
+  // (assign_replica_from); only the id lane defines size().
+  CANB_ASSERT(id.size() == n);
+}
+
 }  // namespace canb::particles

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "particles/particle.hpp"
+#include "support/wire.hpp"
 
 namespace canb::particles {
 
@@ -96,6 +97,16 @@ struct SoaBlock {
   Block to_block() const;
 
   void clear_forces() noexcept;
+
+  /// Lossless byte encoding for real transports (wire.hpp): every lane is
+  /// copied bit-for-bit, so a block that round-trips through a socket is
+  /// bitwise identical to the original — which is what lets the
+  /// cross-backend parity suite demand identical trajectories. Note this is
+  /// the *host* image (11 lanes, doubles intact), distinct from the modeled
+  /// wire format whose size is DEFINED as size() * kParticleBytes for the
+  /// ledger; the cost model never sees these bytes.
+  void wire_put(wire::Writer& w) const;
+  void wire_get(wire::Reader& r);
 
   // Lane accessors shared with SoaTile so BatchedEngine::sweep is generic
   // over "resident block" and "gathered tile" sources (float lanes are

@@ -125,6 +125,14 @@ class Simulation {
     /// identical with it on or off (tested); off selects the legacy
     /// serial/allocating host path.
     bool pooled_data_plane = true;
+    /// Real byte transport beneath the vmpi primitives (vmpi/transport.hpp).
+    /// Null (the default) is the modeled arm: costs only, no fabric. When
+    /// set, every message is serialized through the transport and receivers
+    /// adopt the wire bytes — trajectories, ledgers, and traces stay
+    /// bitwise identical to the modeled arm (tests/test_transport_parity).
+    /// Shared (not unique) so multi-endpoint harnesses can hold the
+    /// endpoint while the Simulation uses it.
+    std::shared_ptr<vmpi::Transport> transport;
   };
 
   Simulation(Config cfg, particles::Block initial)
@@ -145,6 +153,7 @@ class Simulation {
       fault_model_ = std::make_unique<vmpi::PerturbationModel>(*cfg_.fault, cfg_.p);
       comm().set_fault(fault_model_.get());
     }
+    if (cfg_.transport) comm().set_transport(cfg_.transport.get());
     if (cfg_.obs != obs::ObsLevel::Off) {
       telemetry_ = std::make_unique<obs::Telemetry>(cfg_.obs);
       std::visit(
@@ -233,6 +242,10 @@ class Simulation {
     if (!telemetry_) return {};
     if (pool_) {
       telemetry_->publish_scheduler(to_string(pool_->sched_mode()), pool_->scheduler_stats());
+    }
+    if (cfg_.transport) {
+      telemetry_->publish_transport(vmpi::transport_kind_name(cfg_.transport->kind()),
+                                    cfg_.transport->stats());
     }
     telemetry_->finalize(comm());
     return obs::analyze_critical_path(telemetry_->spans(), telemetry_->trace());

@@ -28,6 +28,18 @@
 // When a CommObserver is attached to the VirtualComm, the primitives also
 // report HOST wall seconds per phase through on_host_phase — observation
 // only, never fed back.
+//
+// When a Transport is attached to the VirtualComm (transport.hpp), every
+// message additionally crosses the byte fabric: locally-owned sources are
+// serialized and sent BEFORE the host move, and locally-owned destinations
+// are overwritten with the deserialized wire bytes AFTER it — the receiver
+// *adopts* the fabric's bytes, so a transport bug corrupts trajectories
+// and fails the parity suite instead of hiding behind the host copy. The
+// charge still precedes everything, so ledgers/clocks/traces are bitwise
+// unchanged. Payload types without wire support (engine-private structs)
+// silently keep the host-only move, which under the SPMD-replicated socket
+// arm is still correct — just not wire-exercised. The transport arms are
+// exempt from the zero-allocation contract (serialization buffers).
 #pragma once
 
 #include <algorithm>
@@ -113,6 +125,115 @@ class HostPhaseTimer {
   std::chrono::steady_clock::time_point start_{};
 };
 
+/// Routes one permutation round through an attached transport. Sends are
+/// serialized from the pre-move buffers, the host move runs (it doubles as
+/// the replicated fallback for ranks this endpoint does not own), then
+/// every locally-owned destination adopts the bytes that crossed the
+/// fabric. Falls through to a plain host move when no transport is
+/// attached or the payload has no wire support.
+template <class B, class SrcFn, class MoveFn>
+void permute_with_transport(VirtualComm& vc, SrcFn&& src_of, std::vector<B>& bufs,
+                            MoveFn&& move) {
+  if constexpr (wire::serializable<B>) {
+    if (Transport* t = vc.transport(); t != nullptr) {
+      const std::uint64_t tag = vc.next_transport_tag();
+      const int p = static_cast<int>(bufs.size());
+      wire::Bytes bytes;
+      for (int r = 0; r < p; ++r) {
+        const int src = src_of(r);
+        if (src == r || !t->local(src)) continue;
+        wire::to_bytes(bufs[static_cast<std::size_t>(src)], bytes);
+        t->send(src, r, tag, bytes);
+      }
+      move();
+      for (int r = 0; r < p; ++r) {
+        const int src = src_of(r);
+        if (src == r || !t->local(r)) continue;
+        t->recv(src, r, tag, bytes);
+        wire::from_bytes(bufs[static_cast<std::size_t>(r)], bytes);
+      }
+      return;
+    }
+  }
+  move();
+}
+
+/// Transport arm of broadcast_teams: each locally-owned leader serializes
+/// once and sends to every team member; after the host copy, every
+/// locally-owned non-leader adopts the wire bytes (full-copy install, the
+/// legacy broadcast semantics).
+template <class B, class CopyFn>
+void broadcast_with_transport(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs,
+                              CopyFn&& host_copy) {
+  if constexpr (wire::serializable<B>) {
+    if (Transport* t = vc.transport(); t != nullptr && g.rows() > 1) {
+      const std::uint64_t tag = vc.next_transport_tag();
+      wire::Bytes bytes;
+      for (int col = 0; col < g.cols(); ++col) {
+        const int leader = g.leader(col);
+        if (!t->local(leader)) continue;
+        wire::to_bytes(bufs[static_cast<std::size_t>(leader)], bytes);
+        for (int row = 1; row < g.rows(); ++row) t->send(leader, g.rank(row, col), tag, bytes);
+      }
+      host_copy();
+      for (int col = 0; col < g.cols(); ++col) {
+        const int leader = g.leader(col);
+        for (int row = 1; row < g.rows(); ++row) {
+          const int dst = g.rank(row, col);
+          if (!t->local(dst)) continue;
+          t->recv(leader, dst, tag, bytes);
+          wire::from_bytes(bufs[static_cast<std::size_t>(dst)], bytes);
+        }
+      }
+      return;
+    }
+  }
+  host_copy();
+}
+
+/// Transport arm of reduce_teams. Every locally-owned member ships its
+/// buffer to the leader; a locally-owned leader folds the *deserialized*
+/// member blocks in strict row order (the same serial order as the host
+/// fold — float addition does not associate), a remote leader's slot folds
+/// the replicated local copies. Returns false (caller runs the host fold)
+/// when no transport is attached or the payload has no wire support.
+template <class B, class Combine>
+bool reduce_with_transport(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs,
+                           Combine&& combine) {
+  if constexpr (wire::serializable<B>) {
+    if (Transport* t = vc.transport(); t != nullptr && g.rows() > 1) {
+      const std::uint64_t tag = vc.next_transport_tag();
+      wire::Bytes bytes;
+      for (int col = 0; col < g.cols(); ++col) {
+        const int leader = g.leader(col);
+        for (int row = 1; row < g.rows(); ++row) {
+          const int m = g.rank(row, col);
+          if (!t->local(m)) continue;
+          wire::to_bytes(bufs[static_cast<std::size_t>(m)], bytes);
+          t->send(m, leader, tag, bytes);
+        }
+      }
+      B incoming{};
+      for (int col = 0; col < g.cols(); ++col) {
+        const int leader = g.leader(col);
+        auto& acc = bufs[static_cast<std::size_t>(leader)];
+        for (int row = 1; row < g.rows(); ++row) {
+          const int m = g.rank(row, col);
+          if (t->local(leader)) {
+            t->recv(m, leader, tag, bytes);
+            wire::from_bytes(incoming, bytes);
+            combine(acc, incoming);
+          } else {
+            combine(acc, bufs[static_cast<std::size_t>(m)]);
+          }
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace detail
 
 /// Generic permutation round: rank r receives the buffer of src_of(r)
@@ -132,10 +253,12 @@ void permute_buffers(VirtualComm& vc, SrcFn&& src_of, std::vector<B>& bufs,
       shift_phase);
   detail::HostPhaseTimer timer(vc, phase);
   if (scratch.size() != bufs.size()) scratch.resize(bufs.size());
-  for (int r = 0; r < static_cast<int>(bufs.size()); ++r)
-    detail::swap_payload(scratch[static_cast<std::size_t>(r)],
-                         bufs[static_cast<std::size_t>(src_of(r))]);
-  bufs.swap(scratch);
+  detail::permute_with_transport(vc, src_of, bufs, [&] {
+    for (int r = 0; r < static_cast<int>(bufs.size()); ++r)
+      detail::swap_payload(scratch[static_cast<std::size_t>(r)],
+                           bufs[static_cast<std::size_t>(src_of(r))]);
+    bufs.swap(scratch);
+  });
 }
 
 /// Shifts every row's buffers east by `dist` columns (wrap-around). A rank
@@ -149,16 +272,21 @@ void shift_rows(VirtualComm& vc, const Grid2d& g, int dist, std::vector<B>& bufs
   int d = dist % q;
   if (d < 0) d += q;
   if (d == 0) return;
+  const auto src_of = [&g, d](int r) {
+    return g.rank(g.row_of(r), g.wrap_col(g.col_of(r), -d));
+  };
   vc.permute_step(
-      phase, [&](int r) { return g.rank(g.row_of(r), g.wrap_col(g.col_of(r), -d)); },
+      phase, src_of,
       [&](int src) { return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(src)])); },
       /*shift_phase=*/true);
   detail::HostPhaseTimer timer(vc, phase);
-  for (int row = 0; row < g.rows(); ++row) {
-    const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
-    // Rotate right by d: element at col moves to col+d.
-    std::rotate(first, first + (q - d), first + q);
-  }
+  detail::permute_with_transport(vc, src_of, bufs, [&] {
+    for (int row = 0; row < g.rows(); ++row) {
+      const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
+      // Rotate right by d: element at col moves to col+d.
+      std::rotate(first, first + (q - d), first + q);
+    }
+  });
 }
 
 /// Row-dependent shift: row k shifts east by dist_of_row(k) columns. Used
@@ -179,21 +307,23 @@ void skew_rows(VirtualComm& vc, const Grid2d& g, DistFn&& dist_of_row, std::vect
     if (v < 0) v += q;
     d[static_cast<std::size_t>(row)] = v;
   }
+  const auto src_of = [&g, &d](int r) {
+    const int row = g.row_of(r);
+    return g.rank(row, g.wrap_col(g.col_of(r), -d[static_cast<std::size_t>(row)]));
+  };
   vc.permute_step(
-      phase,
-      [&](int r) {
-        const int row = g.row_of(r);
-        return g.rank(row, g.wrap_col(g.col_of(r), -d[static_cast<std::size_t>(row)]));
-      },
+      phase, src_of,
       [&](int src) { return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(src)])); },
       /*shift_phase=*/false);
   detail::HostPhaseTimer timer(vc, phase);
-  for (int row = 0; row < g.rows(); ++row) {
-    const int dd = d[static_cast<std::size_t>(row)];
-    if (dd == 0) continue;
-    const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
-    std::rotate(first, first + (q - dd), first + q);
-  }
+  detail::permute_with_transport(vc, src_of, bufs, [&] {
+    for (int row = 0; row < g.rows(); ++row) {
+      const int dd = d[static_cast<std::size_t>(row)];
+      if (dd == 0) continue;
+      const auto first = bufs.begin() + static_cast<std::ptrdiff_t>(g.rank(row, 0));
+      std::rotate(first, first + (q - dd), first + q);
+    }
+  });
 }
 
 /// Broadcasts each team leader's buffer to the rest of its team (column).
@@ -208,23 +338,25 @@ void broadcast_teams(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs, Byt
     return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(g.leader(col))]));
   });
   detail::HostPhaseTimer timer(vc, phase);
-  if (plane == nullptr) {
-    for (int col = 0; col < g.cols(); ++col) {
-      const auto& src = bufs[static_cast<std::size_t>(g.leader(col))];
-      for (int row = 1; row < g.rows(); ++row)
-        bufs[static_cast<std::size_t>(g.rank(row, col))] = src;
+  detail::broadcast_with_transport(vc, g, bufs, [&] {
+    if (plane == nullptr) {
+      for (int col = 0; col < g.cols(); ++col) {
+        const auto& src = bufs[static_cast<std::size_t>(g.leader(col))];
+        for (int row = 1; row < g.rows(); ++row)
+          bufs[static_cast<std::size_t>(g.rank(row, col))] = src;
+      }
+      return;
     }
-    return;
-  }
-  const int replicas = g.rows() - 1;
-  if (replicas <= 0) return;
-  plane->for_chunks(g.cols() * replicas, [&](int b, int e) {
-    for (int t = b; t < e; ++t) {
-      const int col = t / replicas;
-      const int row = 1 + t % replicas;
-      detail::assign_replica(bufs[static_cast<std::size_t>(g.rank(row, col))],
-                             bufs[static_cast<std::size_t>(g.leader(col))]);
-    }
+    const int replicas = g.rows() - 1;
+    if (replicas <= 0) return;
+    plane->for_chunks(g.cols() * replicas, [&](int b, int e) {
+      for (int t = b; t < e; ++t) {
+        const int col = t / replicas;
+        const int row = 1 + t % replicas;
+        detail::assign_replica(bufs[static_cast<std::size_t>(g.rank(row, col))],
+                               bufs[static_cast<std::size_t>(g.leader(col))]);
+      }
+    });
   });
 }
 
@@ -270,6 +402,7 @@ void reduce_teams(VirtualComm& vc, const Grid2d& g, std::vector<B>& bufs, BytesO
     return static_cast<double>(bytes_of(bufs[static_cast<std::size_t>(g.leader(col))]));
   });
   detail::HostPhaseTimer timer(vc, phase);
+  if (detail::reduce_with_transport(vc, g, bufs, combine)) return;
   const int q = g.cols();
   const int rows = g.rows();
   if (plane == nullptr || rows <= 1) {

@@ -1,0 +1,157 @@
+// Pluggable byte transports beneath the vmpi primitives.
+//
+// The primitives charge the virtual clock from particle *counts* before any
+// payload moves (the charge-before-move invariant), so swapping the data
+// move from in-process assignment to serialize -> wire -> deserialize
+// cannot perturb ledgers, clocks, or traces. It does make the channel
+// load-bearing for *trajectories*: the receiver adopts the wire bytes, so a
+// transport bug corrupts particle state and fails the cross-backend parity
+// suite instead of hiding behind a modeled copy.
+//
+// Contract (pinned by tests/test_transport.cpp):
+//   - send(src, dst, tag, payload): posts one framed message. Per
+//     (src, dst, tag) flow, messages are delivered in send order (FIFO).
+//     Zero-length payloads are legal frames.
+//   - recv(src, dst, tag, out): blocks until the next frame of that flow
+//     arrives, then fills `out` (capacity-preserving where possible).
+//     `dst` must be local to this endpoint.
+//   - local(rank): whether `rank`'s payloads materialize in this process.
+//     Single-endpoint backends (modeled, shmem) own every rank; the socket
+//     backend partitions ranks into process groups.
+//   - barrier(): rendezvous across endpoints; no-op for single-endpoint
+//     backends.
+//
+// Backends:
+//   - ModeledTransport: serial in-process FIFO queues, no locks. The
+//     reference implementation of the contract; also useful to exercise
+//     serialization without concurrency in the mix.
+//   - ShmemTransport: ranks-as-threads backend. Mutex-striped per-
+//     destination mailboxes; frame byte-buffers are recycled through a
+//     BufferPool so a warmed steady state stops allocating.
+//   - SocketTransport (socket_transport.hpp): one OS process per rank
+//     group, length-prefixed frames over Unix-domain sockets with a
+//     reliable-channel layer (reliable.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/wire.hpp"
+#include "vmpi/buffer_pool.hpp"
+
+namespace canb::vmpi {
+
+enum class TransportKind { Modeled, Shmem, Socket };
+
+const char* transport_kind_name(TransportKind k) noexcept;
+std::optional<TransportKind> parse_transport_kind(std::string_view name) noexcept;
+
+/// Fabric-side counters, published as canb_transport_* metrics. All zero
+/// for the modeled arm (no transport attached): the cost model is the
+/// source of truth there, not a fabric.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t retransmits = 0;       ///< reliable-channel data re-sends
+  std::uint64_t acks_sent = 0;         ///< reliable-channel acks emitted
+  std::uint64_t duplicates_dropped = 0;///< stale/duplicate frames discarded
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const noexcept = 0;
+  virtual int ranks() const noexcept = 0;
+  virtual bool local(int rank) const noexcept { (void)rank; return true; }
+
+  virtual void send(int src, int dst, std::uint64_t tag, std::span<const std::byte> payload) = 0;
+  virtual void recv(int src, int dst, std::uint64_t tag, wire::Bytes& out) = 0;
+  virtual void barrier() {}
+
+  virtual TransportStats stats() const { return {}; }
+};
+
+/// Serial single-threaded FIFO transport: the executable statement of the
+/// contract. Every rank is local; send enqueues, recv pops.
+class ModeledTransport final : public Transport {
+ public:
+  explicit ModeledTransport(int ranks);
+
+  TransportKind kind() const noexcept override { return TransportKind::Modeled; }
+  int ranks() const noexcept override { return ranks_; }
+
+  void send(int src, int dst, std::uint64_t tag, std::span<const std::byte> payload) override;
+  void recv(int src, int dst, std::uint64_t tag, wire::Bytes& out) override;
+  TransportStats stats() const override { return stats_; }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (src<<32|dst, tag)
+  int ranks_;
+  std::map<Key, std::deque<wire::Bytes>> queues_;
+  TransportStats stats_;
+};
+
+/// Ranks-as-threads shared-memory transport. One mailbox per destination
+/// rank (so the lock striping matches the natural sharding of concurrent
+/// senders: senders to different destinations never contend). Frame shells
+/// are recycled via a per-mailbox BufferPool<wire::Bytes>; recv swaps the
+/// frame out and returns the caller's old buffer to the pool, so the warmed
+/// path moves capacity around instead of allocating.
+class ShmemTransport final : public Transport {
+ public:
+  explicit ShmemTransport(int ranks);
+  ~ShmemTransport() override = default;
+
+  TransportKind kind() const noexcept override { return TransportKind::Shmem; }
+  int ranks() const noexcept override { return ranks_; }
+
+  void send(int src, int dst, std::uint64_t tag, std::span<const std::byte> payload) override;
+  void recv(int src, int dst, std::uint64_t tag, wire::Bytes& out) override;
+  TransportStats stats() const override;
+
+ private:
+  using FlowKey = std::pair<std::uint64_t, std::uint64_t>;  // (src, tag)
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<FlowKey, std::deque<wire::Bytes>> flows;
+    BufferPool<wire::Bytes> pool;  // recycled frame shells, guarded by mu
+  };
+
+  int ranks_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
+};
+
+/// Endpoint-construction options shared by the factory and the CLI.
+struct TransportOptions {
+  TransportKind kind = TransportKind::Modeled;
+  int ranks = 0;
+  int groups = 1;        ///< socket: number of OS processes
+  int group = 0;         ///< socket: this endpoint's group index
+  std::string dir;       ///< socket: rendezvous directory for UDS paths
+  double drop_rate = 0;  ///< socket: seeded egress drop injection (tests)
+  std::uint64_t drop_seed = 1;
+};
+
+/// Builds an endpoint. Returns nullptr for TransportKind::Modeled *by
+/// design*: the default modeled arm is "no transport attached" and must
+/// stay bitwise-inert and zero-overhead; tests that want the routed
+/// modeled reference construct ModeledTransport explicitly.
+std::shared_ptr<Transport> make_transport(const TransportOptions& opts);
+
+}  // namespace canb::vmpi

@@ -39,6 +39,8 @@ void VirtualComm::reset() {
   if (trace_) trace_->clear();
   // Reseed the fault streams so a reset run replays the same perturbations.
   if (fault_) fault_->reset();
+  // Restart the transport tag sequence so a reset run re-matches its flows.
+  transport_tag_ = 0;
 }
 
 void VirtualComm::advance(int rank, Phase phase, double seconds, std::uint64_t messages,

@@ -27,6 +27,7 @@
 #include "vmpi/grid.hpp"
 #include "vmpi/observer.hpp"
 #include "vmpi/trace.hpp"
+#include "vmpi/transport.hpp"
 
 namespace canb::vmpi {
 
@@ -70,6 +71,25 @@ class VirtualComm {
   /// observer leaves clocks and ledgers bitwise identical (tested).
   void set_observer(CommObserver* obs) noexcept { obs_ = obs; }
   CommObserver* observer() const noexcept { return obs_; }
+
+  /// Attaches a real byte transport (not owned; nullptr detaches and
+  /// restores the default modeled arm). The primitives serialize payloads
+  /// through it instead of assigning between rank heaps. Every virtual
+  /// charge is issued *before* the bytes move, from particle counts alone,
+  /// so an attached transport leaves clocks, ledgers, and traces bitwise
+  /// identical to the modeled arm (pinned by tests/test_transport_parity).
+  /// Must cover exactly `size()` ranks.
+  void set_transport(Transport* t) {
+    CANB_REQUIRE(t == nullptr || t->ranks() == p_, "transport must cover exactly p ranks");
+    transport_ = t;
+  }
+  Transport* transport() const noexcept { return transport_; }
+
+  /// Per-round message tag for transport flows. Every primitive call draws
+  /// one tag; under SPMD lockstep execution all processes draw the same
+  /// sequence, which is what lets send/recv pairs match across processes
+  /// without any negotiation.
+  std::uint64_t next_transport_tag() noexcept { return ++transport_tag_; }
 
   // --- local charges -----------------------------------------------------
   /// Advances one rank's clock, attributing to `phase`.
@@ -245,6 +265,8 @@ class VirtualComm {
   TraceRecorder* trace_ = nullptr;
   PerturbationModel* fault_ = nullptr;
   CommObserver* obs_ = nullptr;
+  Transport* transport_ = nullptr;
+  std::uint64_t transport_tag_ = 0;
   /// Topology used for hop-aware latency; set in the constructor when the
   /// model requests it (alpha_hop > 0). Sized to exactly p ranks.
   std::shared_ptr<const machine::Topology> hop_topology_;

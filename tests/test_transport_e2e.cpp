@@ -1,0 +1,123 @@
+// End-to-end multi-process acceptance: a 4-rank-group socket simulation —
+// four OS processes, a full Unix-domain-socket mesh, real serialized
+// payloads — must produce trajectories, CostLedger-derived report fields,
+// and a full message trace bitwise identical to the single-process modeled
+// arm. This is the ISSUE's acceptance gate and CI's transport e2e job.
+//
+// Fork discipline: the modeled baseline is computed BEFORE the fork (so
+// every process inherits it and can self-check), the ProcessGroup forks
+// before any thread exists, children compare and _Exit (no gtest teardown
+// in a forked child), and the parent asserts its own comparison plus that
+// every child exited zero. The transport endpoint is destroyed before
+// children are reaped — its destructor barriers against the peers.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+
+#include "machine/presets.hpp"
+#include "particles/init.hpp"
+#include "sim/simulation.hpp"
+#include "vmpi/socket_transport.hpp"
+#include "vmpi/trace.hpp"
+#include "vmpi/transport.hpp"
+
+namespace {
+
+using namespace canb;
+using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
+
+constexpr int kSteps = 10;
+
+struct RunResult {
+  std::string trace;
+  particles::Block state;
+  sim::RunReport report;
+};
+
+RunResult run_arm(std::shared_ptr<vmpi::Transport> transport) {
+  Sim::Config cfg;
+  cfg.method = sim::Method::CaCutoff;
+  cfg.p = 32;
+  cfg.c = 2;
+  cfg.machine = machine::hopper();
+  cfg.kernel = {1e-4, 1e-2};
+  cfg.cutoff = 0.12;
+  cfg.dt = 1e-4;
+  cfg.transport = std::move(transport);
+  Sim s(cfg, particles::init_uniform(256, cfg.box, 2013, 0.01));
+  vmpi::TraceRecorder rec;
+  s.comm().set_trace(&rec);
+  s.run(kSteps);
+  return {vmpi::serialize_trace(rec), s.gather(), s.report()};
+}
+
+/// Plain-bool comparison (no gtest in forked children).
+bool bits_equal(float a, float b) {
+  return std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b);
+}
+
+bool runs_equal(const RunResult& got, const RunResult& want) {
+  if (got.trace != want.trace) return false;
+  if (got.state.size() != want.state.size()) return false;
+  for (std::size_t i = 0; i < got.state.size(); ++i) {
+    const auto& g = got.state[i];
+    const auto& w = want.state[i];
+    if (g.id != w.id || !bits_equal(g.px, w.px) || !bits_equal(g.py, w.py) ||
+        !bits_equal(g.vx, w.vx) || !bits_equal(g.vy, w.vy) || !bits_equal(g.fx, w.fx) ||
+        !bits_equal(g.fy, w.fy))
+      return false;
+  }
+  const auto& gr = got.report;
+  const auto& wr = want.report;
+  return gr.messages == wr.messages && gr.bytes == wr.bytes && gr.compute == wr.compute &&
+         gr.broadcast == wr.broadcast && gr.skew == wr.skew && gr.shift == wr.shift &&
+         gr.reduce == wr.reduce && gr.reassign == wr.reassign && gr.wall == wr.wall &&
+         gr.imbalance == wr.imbalance;
+}
+
+void run_four_process_case(double drop_rate) {
+  // Baseline first: forked children inherit it and self-check against it.
+  const auto want = run_arm(nullptr);
+  const std::string dir = vmpi::make_rendezvous_dir();
+
+  vmpi::ProcessGroup pg(4);  // forks 3 children; parent is group 0
+  bool ok = false;
+  {
+    vmpi::SocketConfig sc;
+    sc.ranks = 32;
+    sc.groups = 4;
+    sc.group = pg.group();
+    sc.dir = dir;
+    sc.drop_rate = drop_rate;
+    sc.drop_seed = 7;
+    auto t = std::make_shared<vmpi::SocketTransport>(sc);
+    const auto got = run_arm(t);
+    ok = runs_equal(got, want);
+    if (pg.primary() && drop_rate > 0.0) {
+      // The lossy arm must actually have exercised the reliable channel.
+      ok = ok && t->stats().retransmits > 0;
+    }
+    // Scope exit drops the last reference: flush + close-barrier runs here,
+    // while all four processes are still alive.
+  }
+  if (!pg.primary()) std::_Exit(ok ? 0 : 1);
+
+  EXPECT_TRUE(ok) << "socket arm diverged from the modeled baseline in group 0";
+  EXPECT_EQ(pg.wait_children(), 0) << "a child group diverged or crashed";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(TransportE2E, FourProcessSocketMatchesModeledBitwise) { run_four_process_case(0.0); }
+
+TEST(TransportE2E, FourProcessSocketRecoversFromDropInjection) {
+  run_four_process_case(/*drop_rate=*/0.1);
+}
+
+}  // namespace

@@ -11,8 +11,15 @@
 // Emitted JSON records steps/sec per (method, n, p, c, engine, threads) so
 // the perf trajectory of the resident-layout work is a file in the repo,
 // not a claim from memory.
+//
+// --series-out=FILE additionally runs the headline case once more with the
+// per-step flight recorder attached (obs/step_series.hpp) and writes its
+// JSON — a per-step wall/pairs/steals profile of the bench workload. This
+// instrumented pass is separate from the timed windows above, so attaching
+// the recorder cannot perturb the recorded steps/sec.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -20,8 +27,10 @@
 
 #include "machine/presets.hpp"
 #include "obs/export.hpp"
+#include "obs/step_series.hpp"
 #include "particles/init.hpp"
 #include "sim/simulation.hpp"
+#include "support/assert.hpp"
 #include "support/cli.hpp"
 #include "support/parallel.hpp"
 
@@ -64,7 +73,8 @@ const char* engine_label(particles::KernelEngine e) {
 
 /// Builds a fresh Simulation for the case (identical initial state every
 /// time: the workload seed is fixed).
-sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs) {
+sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs,
+                                                            int series_capacity = 0) {
   sim::Simulation<particles::InverseSquareRepulsion>::Config cfg;
   cfg.method = cs.method;
   cfg.p = cs.p;
@@ -77,11 +87,35 @@ sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs) {
   cfg.pooled_data_plane = cs.pooled;
   cfg.sched = cs.sched;
   cfg.steal_grain = cs.steal_grain;
+  if (series_capacity > 0) {
+    cfg.obs = obs::ObsLevel::Metrics;
+    cfg.series_capacity = series_capacity;
+  }
   if (cs.dist == "plummer")
     return {cfg, particles::init_plummer(cs.n, cfg.box, 0.1, 2013, 0.01)};
   if (cs.dist == "ring")
     return {cfg, particles::init_ring(cs.n, cfg.box, 0.35, 0.05, 2013, 0.01)};
   return {cfg, particles::init_uniform(cs.n, cfg.box, 2013, 0.01)};
+}
+
+/// The flight-recorder pass: one fresh run of `cs` with the step series
+/// attached, written as flight-recorder JSON. Separate from the timed
+/// windows so instrumentation cannot perturb the steps/sec numbers.
+void record_series(const Case& cs, const std::string& path, int steps) {
+  auto simulation = make_sim(cs, steps);
+  if (cs.threads > 1) simulation.set_host_pool(std::make_shared<ThreadPool>(cs.threads));
+  simulation.run(steps);
+  simulation.finalize_telemetry();
+  simulation.manifest()
+      .set("bench", "step_throughput")
+      .set("n", cs.n)
+      .set("steps", steps)
+      .set("dist", cs.dist)
+      .set("threads", cs.threads);
+  std::ofstream out(path);
+  CANB_REQUIRE(out.good(), "cannot open --series-out file: " + path);
+  obs::write_step_series(out, *simulation.step_series(), simulation.manifest());
+  g_sink = g_sink + simulation.gather()[0].px;
 }
 
 /// Best steps/sec over `repeats` timed windows of at least `min_ms` each
@@ -138,10 +172,12 @@ void write_json(const std::string& path, const std::vector<Result>& rs, double m
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"out", "min-ms", "repeats"});
+  const CliArgs args(argc, argv, {"out", "min-ms", "repeats", "series-out", "series-steps"});
   const std::string out_path = args.get("out", "BENCH_step.json");
   const double min_ms = args.get_double("min-ms", 400.0);
   const int repeats = static_cast<int>(args.get_int("repeats", 3));
+  const std::string series_out = args.get("series-out", "");
+  const int series_steps = static_cast<int>(args.get_int("series-steps", 64));
 
   std::vector<Case> cases;
   for (const auto engine : {particles::KernelEngine::Scalar, particles::KernelEngine::Batched}) {
@@ -194,5 +230,12 @@ int main(int argc, char** argv) {
   }
   write_json(out_path, results, min_ms, repeats);
   std::cout << "wrote " << out_path << "\n";
+
+  if (!series_out.empty()) {
+    // Flight-record the headline case (first in `cases`) after the timed
+    // windows are done and written.
+    record_series(cases.front(), series_out, series_steps);
+    std::cout << "wrote " << series_out << " (" << series_steps << "-step flight record)\n";
+  }
   return 0;
 }

@@ -65,7 +65,22 @@
 //   --spans-csv     write the per-(sample, rank) clock time series as CSV
 // At full level the run also prints the recovered critical path and the
 // report table grows cp-rank / cp(s) / slack(s) columns.
+//
+// Live observability plane (implies --obs-level=metrics when unset):
+//   --serve         serve /metrics /healthz /spans.csv /trace.json over
+//                   HTTP on 127.0.0.1:<port> during the run (bare --serve
+//                   = port 0 = pick an ephemeral port; URL is printed).
+//                   Under --transport=socket the group-0 process serves
+//                   the mesh-merged view covering every process.
+//   --serve-linger  keep serving this many seconds after the run finishes
+//                   (for scripted scrapes; default 0)
+//   --series-out    write the per-step flight recorder JSON here
+//   --series-capacity  flight recorder ring size (default 1024)
+//   --straggler-factor a step slower than this multiple of the rolling
+//                   median wall time is flagged and dumped immediately to
+//                   <series-out>.straggler-step<K>.json (default 3.0)
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -140,9 +155,10 @@ int main(int argc, char** argv) {
                       "threads", "sched", "steal-grain", "integrator", "engine",
                       "data-plane", "tune", "tune-cache", "fault-seed", "straggler",
                       "jitter", "drop-rate", "link-degrade", "obs-level", "metrics-out",
-                      "trace-out", "spans-csv", "transport", "transport-groups",
-                      "transport-group", "transport-dir", "transport-drop",
-                      "transport-drop-seed"});
+                      "trace-out", "spans-csv", "serve", "serve-linger", "series-out",
+                      "series-capacity", "straggler-factor", "transport",
+                      "transport-groups", "transport-group", "transport-dir",
+                      "transport-drop", "transport-drop-seed"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -252,7 +268,7 @@ int main(int argc, char** argv) {
     cfg.obs = *level;
   } else if (args.has("trace-out") || args.has("spans-csv")) {
     cfg.obs = obs::ObsLevel::Full;
-  } else if (args.has("metrics-out")) {
+  } else if (args.has("metrics-out") || args.has("serve") || args.has("series-out")) {
     cfg.obs = obs::ObsLevel::Metrics;
   }
   CANB_REQUIRE(!(args.has("trace-out") || args.has("spans-csv")) ||
@@ -260,6 +276,26 @@ int main(int argc, char** argv) {
                "--trace-out/--spans-csv need --obs-level=full (span sampling)");
   CANB_REQUIRE(!args.has("metrics-out") || cfg.obs != obs::ObsLevel::Off,
                "--metrics-out needs --obs-level=metrics or full");
+  if (args.has("serve")) {
+    CANB_REQUIRE(cfg.obs != obs::ObsLevel::Off, "--serve needs --obs-level=metrics or full");
+    // Bare "--serve" parses as the string "true": pick an ephemeral port.
+    const std::string port = args.get("serve", "0");
+    cfg.serve_port = port == "true" ? 0 : static_cast<int>(args.get_int("serve", 0));
+    CANB_REQUIRE(cfg.serve_port >= 0 && cfg.serve_port <= 65535,
+                 "--serve port must be in [0, 65535]");
+  }
+  const std::string series_out = args.get("series-out", "");
+  if (!series_out.empty()) {
+    CANB_REQUIRE(cfg.obs != obs::ObsLevel::Off,
+                 "--series-out needs --obs-level=metrics or full");
+    cfg.series_capacity = static_cast<int>(args.get_int("series-capacity", 1024));
+    CANB_REQUIRE(cfg.series_capacity > 0, "--series-capacity must be positive");
+    cfg.straggler_factor = args.get_double("straggler-factor", 3.0);
+    CANB_REQUIRE(cfg.straggler_factor > 1.0, "--straggler-factor must exceed 1");
+  } else {
+    CANB_REQUIRE(!args.has("series-capacity") && !args.has("straggler-factor"),
+                 "--series-capacity/--straggler-factor need --series-out");
+  }
 
   particles::Block initial;
   std::int64_t step0 = 0;
@@ -305,6 +341,43 @@ int main(int argc, char** argv) {
   }
   if (threads > 1) simulation.set_host_pool(std::make_shared<ThreadPool>(threads));
 
+  // Provenance the Simulation cannot know on its own, added before any
+  // artifact (file export, scrape, straggler dump) can embed the manifest.
+  simulation.manifest()
+      .set("workload", args.get("workload", "uniform"))
+      .set("n", n)
+      .set("steps", steps)
+      .set("seed", seed)
+      .set("integrator", cfg.integrator)
+      .set("threads", threads)
+      .set("sched", to_string(simulation.config().sched));
+  if (cfg.fault) {
+    simulation.manifest()
+        .set("fault_seed", cfg.fault->seed)
+        .set("straggler", cfg.fault->straggler_rate)
+        .set("jitter", cfg.fault->jitter)
+        .set("drop_rate", cfg.fault->drop_rate)
+        .set("link_degrade", cfg.fault->link_degrade_rate);
+  }
+
+  if (auto* srv = simulation.server(); primary && srv != nullptr) {
+    std::cout << "live metrics at " << srv->url() << "  (/metrics /healthz"
+              << (cfg.obs == obs::ObsLevel::Full ? " /spans.csv /trace.json" : "") << ")"
+              << std::endl;  // flush: scrapers watch stdout for the URL
+  }
+  if (auto* series = simulation.step_series(); primary && series != nullptr) {
+    // Dump a flight-recorder snapshot the moment a straggler is flagged —
+    // the evidence is on disk even if the run later hangs or dies.
+    series->set_straggler_sink([&simulation, series_out](const obs::StepSample& s) {
+      const std::string path = series_out + ".straggler-step" + std::to_string(s.step) + ".json";
+      std::ofstream out(path);
+      if (!out.good()) return;
+      obs::write_step_series(out, *simulation.step_series(), simulation.manifest());
+      std::cout << "straggler at step " << s.step << " (" << obs::format_double(s.wall_seconds)
+                << "s wall); snapshot written to " << path << "\n";
+    });
+  }
+
   std::unique_ptr<sim::TrajectoryWriter> xyz;
   if (primary && args.has("xyz"))
     xyz = std::make_unique<sim::TrajectoryWriter>(args.get("xyz", ""),
@@ -347,43 +420,34 @@ int main(int argc, char** argv) {
   }
 
   obs::CriticalPathReport cp;
-  if (auto* telem = simulation.telemetry(); primary && telem != nullptr) {
+  if (auto* telem = simulation.telemetry(); telem != nullptr) {
+    // EVERY group finalizes — the closing mesh snapshot exchange is
+    // symmetric, so a primary-only call would deadlock the socket arm.
     cp = simulation.finalize_telemetry();
-    obs::RunManifest manifest;
-    manifest.machine = cfg.machine.name;
-    manifest.set("method", sim::method_name(cfg.method))
-        .set("workload", args.get("workload", "uniform"))
-        .set("n", n)
-        .set("p", cfg.p)
-        .set("c", cfg.c)
-        .set("steps", steps)
-        .set("dt", cfg.dt)
-        .set("cutoff", cfg.cutoff)
-        .set("seed", seed)
-        .set("integrator", cfg.integrator)
-        .set("threads", threads)
-        .set("sched", to_string(simulation.config().sched))
-        .set("obs_level", obs::obs_level_name(telem->level()));
-    if (cfg.fault) {
-      manifest.set("fault_seed", cfg.fault->seed)
-          .set("straggler", cfg.fault->straggler_rate)
-          .set("jitter", cfg.fault->jitter)
-          .set("drop_rate", cfg.fault->drop_rate)
-          .set("link_degrade", cfg.fault->link_degrade_rate);
-    }
+  }
+  if (auto* telem = simulation.telemetry(); primary && telem != nullptr) {
+    const obs::RunManifest& manifest = simulation.manifest();
     if (args.has("metrics-out")) {
       const std::string path = args.get("metrics-out", "");
       std::ofstream out(path);
       CANB_REQUIRE(out.good(), "cannot open --metrics-out file: " + path);
-      obs::write_metrics_json(out, telem->metrics(), manifest,
-                              telem->spans_enabled() ? &cp : nullptr);
+      // Mesh runs export the merged registry: every process's transport,
+      // scheduler, and host-phase series, group-labeled and summable.
+      const obs::MetricsRegistry merged = simulation.merged_metrics();
+      obs::write_metrics_json(out, merged, manifest, telem->spans_enabled() ? &cp : nullptr);
       // Prometheus text rides along under the same stem.
       const auto dot = path.rfind('.');
       const std::string prom_path = path.substr(0, dot == std::string::npos ? path.size() : dot) + ".prom";
       std::ofstream prom(prom_path);
       CANB_REQUIRE(prom.good(), "cannot open Prometheus output file: " + prom_path);
-      prom << obs::to_prometheus(telem->metrics());
+      prom << obs::to_prometheus(merged);
       std::cout << "metrics written to " << path << " (+" << prom_path << ")\n";
+    }
+    if (!series_out.empty()) {
+      std::ofstream out(series_out);
+      CANB_REQUIRE(out.good(), "cannot open --series-out file: " + series_out);
+      obs::write_step_series(out, *simulation.step_series(), manifest);
+      std::cout << "flight recorder written to " << series_out << "\n";
     }
     if (args.has("trace-out")) {
       const std::string path = args.get("trace-out", "");
@@ -415,6 +479,15 @@ int main(int argc, char** argv) {
     std::cout << "g(r) in 10 bins to r=0.25:";
     for (double v : g) std::cout << " " << std::fixed << std::setprecision(2) << v;
     std::cout << "\n";
+  }
+
+  // Scripted scrapers (CI, the demo script) get a deterministic window to
+  // read the final state. Non-primary groups skip straight to teardown and
+  // park in the close barrier until the primary follows.
+  if (const double linger = args.get_double("serve-linger", 0.0);
+      primary && simulation.server() != nullptr && linger > 0.0) {
+    std::cout << "serving for another " << linger << "s (--serve-linger)" << std::endl;
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
   }
 
   // Fabric teardown while every peer process is still alive: releasing the

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition document scraped from /metrics.
+
+A standalone mirror of obs::validate_prometheus (src/obs/export.cpp) so CI
+can validate what curl actually received over HTTP, with no canb binary in
+the loop. Checks the structural invariants a real Prometheus server relies
+on:
+
+  * every sample belongs to a family declared with # TYPE (histogram
+    samples resolve through their _bucket/_sum/_count suffixes);
+  * # HELP lines are immediately followed by the matching # TYPE;
+  * counter values are non-negative numbers;
+  * histogram buckets carry an `le` label, are cumulative (non-decreasing
+    in file order), include a terminal +Inf bucket, and agree with _count.
+
+Usage:
+    scripts/check_prometheus.py metrics.txt         # file
+    curl -s localhost:9464/metrics | scripts/check_prometheus.py -
+
+Exits non-zero on the first violation, printing the offending line.
+"""
+import sys
+
+
+def split_sample(line):
+    """Return (name, labels-dict, value-string) for a sample line."""
+    brace = line.find("{")
+    if brace < 0:
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError("expected '<name> <value>'")
+        return parts[0], {}, parts[1]
+    name = line[:brace]
+    close = line.rfind("}")
+    if close < brace:
+        raise ValueError("unbalanced label braces")
+    labels = {}
+    block = line[brace + 1 : close]
+    while block:
+        eq = block.find("=")
+        if eq < 0 or len(block) < eq + 2 or block[eq + 1] != '"':
+            raise ValueError("malformed label pair")
+        key = block[:eq]
+        end = block.find('"', eq + 2)
+        if end < 0:
+            raise ValueError("unterminated label value")
+        labels[key] = block[eq + 2 : end]
+        block = block[end + 1 :]
+        if block.startswith(","):
+            block = block[1:]
+    value = line[close + 1 :].strip()
+    if not value:
+        raise ValueError("sample without a value")
+    return name, labels, value
+
+
+def as_number(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def base_family(name, typed):
+    """Resolve a sample name to its declared family (histogram suffixes)."""
+    if name in typed:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in typed:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text):
+    """Return an error string, or None if the document is well-formed."""
+    typed = {}  # family -> type
+    pending_help = None
+    # family + sorted non-le labels -> [last cumulative, inf cumulative]
+    buckets = {}
+    counts = {}  # same key -> value of _count sample
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        loc = f"line {lineno}: {raw!r}: "
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # arbitrary comment
+            kind, family = parts[1], parts[2]
+            if kind == "HELP":
+                if pending_help is not None:
+                    return loc + "HELP not followed by its TYPE"
+                pending_help = family
+                continue
+            if pending_help is not None and pending_help != family:
+                return loc + f"HELP for {pending_help} followed by TYPE for {family}"
+            pending_help = None
+            if family in typed:
+                return loc + "duplicate TYPE declaration"
+            if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                return loc + "unknown metric type"
+            typed[family] = parts[3]
+            continue
+        if pending_help is not None:
+            return loc + "HELP not followed by its TYPE"
+        try:
+            name, labels, value_text = split_sample(line)
+            value = as_number(value_text)
+        except ValueError as err:
+            return loc + str(err)
+        family = base_family(name, typed)
+        if family is None:
+            return loc + "sample without a TYPE declaration"
+        kind = typed[family]
+        if kind == "counter" and value < 0:
+            return loc + "negative counter"
+        if kind != "histogram":
+            continue
+        if name == family:
+            return loc + "bare sample of a histogram family"
+        series = family + "|" + ",".join(
+            f'{k}="{v}"' for k, v in sorted(labels.items()) if k != "le"
+        )
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                return loc + "histogram bucket without an le label"
+            state = buckets.setdefault(series, [None, None])
+            if state[1] is not None:
+                return loc + "bucket after the +Inf bucket"
+            if state[0] is not None and value < state[0]:
+                return loc + "non-monotone cumulative bucket"
+            state[0] = value
+            if labels["le"] == "+Inf":
+                state[1] = value
+        elif name.endswith("_count"):
+            counts[series] = value
+    if pending_help is not None:
+        return f"trailing HELP for {pending_help} with no TYPE"
+    for series, (_, inf_cum) in buckets.items():
+        family = series.split("|", 1)[0]
+        if inf_cum is None:
+            return f"histogram series of {family} has no +Inf bucket"
+        if series in counts and counts[series] != inf_cum:
+            return f"{family}_count disagrees with its +Inf bucket"
+    if not typed:
+        return "empty document: no metric families"
+    return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    source = sys.stdin if sys.argv[1] == "-" else open(sys.argv[1])
+    with source:
+        text = source.read()
+    err = check(text)
+    if err is not None:
+        sys.exit(f"check_prometheus: {err}")
+    families = sum(1 for line in text.splitlines() if line.startswith("# TYPE "))
+    print(f"check_prometheus: OK ({families} families)")
+
+
+if __name__ == "__main__":
+    main()

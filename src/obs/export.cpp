@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <ostream>
+#include <string_view>
 
 #include "support/assert.hpp"
 
@@ -128,10 +131,27 @@ void write_manifest(JsonWriter& w, const RunManifest& manifest) {
   w.key("manifest").begin_object();
   w.kv("tool", manifest.tool);
   w.kv("machine", manifest.machine);
+  w.key("build").begin_object();
+  w.kv("compiler", manifest.compiler);
+  w.kv("git", manifest.git);
+  w.kv("simd", manifest.simd);
+  w.kv("schema", kObsSchemaVersion);
+  w.end_object();
   w.key("config").begin_object();
   for (const auto& kv : manifest.config) w.kv(kv.first, kv.second);
   w.end_object();
   w.end_object();
+}
+
+void publish_build_info(MetricsRegistry& registry, const RunManifest& manifest) {
+  registry
+      .gauge("canb_build_info",
+             {{"compiler", manifest.compiler},
+              {"git", manifest.git},
+              {"schema", std::to_string(kObsSchemaVersion)},
+              {"simd", manifest.simd}},
+             "Build identity; constant 1, the information rides the labels")
+      .set(1.0);
 }
 
 namespace {
@@ -292,6 +312,185 @@ std::string to_prometheus(const MetricsRegistry& registry) {
     }
   }
   return out;
+}
+
+// --- Prometheus validation -------------------------------------------------
+
+namespace {
+
+/// Splits a sample line into (name, label-block, value). Returns false on a
+/// malformed line. The label block is the raw text between braces ("" when
+/// absent).
+bool split_sample(const std::string& line, std::string& name, std::string& labels,
+                  std::string& value) {
+  const auto brace = line.find('{');
+  const auto space = line.find(' ');
+  if (brace != std::string::npos && (space == std::string::npos || brace < space)) {
+    const auto close = line.rfind('}');
+    if (close == std::string::npos || close < brace) return false;
+    name = line.substr(0, brace);
+    labels = line.substr(brace + 1, close - brace - 1);
+    if (close + 2 > line.size() || line[close + 1] != ' ') return false;
+    value = line.substr(close + 2);
+  } else {
+    if (space == std::string::npos) return false;
+    name = line.substr(0, space);
+    labels = {};
+    value = line.substr(space + 1);
+  }
+  return !name.empty() && !value.empty();
+}
+
+/// Parses `k="v",...` into pairs; tolerates quotes-free simple values only
+/// in quotes (our exporter never escapes, values contain no '"').
+bool parse_labels(const std::string& block, Labels& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < block.size()) {
+    const auto eq = block.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= block.size() || block[eq + 1] != '"') return false;
+    const auto close = block.find('"', eq + 2);
+    if (close == std::string::npos) return false;
+    out.emplace_back(block.substr(i, eq - i), block.substr(eq + 2, close - eq - 2));
+    i = close + 1;
+    if (i < block.size()) {
+      if (block[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+bool parse_number(const std::string& s, double& v) {
+  char* end = nullptr;
+  v = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+}  // namespace
+
+std::optional<std::string> validate_prometheus(const std::string& text) {
+  std::map<std::string, std::string> typed;  // family -> declared type
+  std::string pending_help;                  // family whose TYPE must come next
+  struct BucketState {
+    bool inf_seen = false;
+    std::uint64_t last_cum = 0;
+    std::uint64_t inf_cum = 0;
+  };
+  std::map<std::string, BucketState> buckets;  // family + labels-minus-le
+
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  auto fail = [&](const std::string& msg) -> std::optional<std::string> {
+    return "prometheus line " + std::to_string(lineno) + ": " + msg;
+  };
+
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    const std::string line =
+        text.substr(start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line.rfind("# HELP ", 0) == 0) {
+      if (!pending_help.empty()) return fail("HELP for " + pending_help + " not followed by TYPE");
+      const auto rest = line.substr(7);
+      const auto sp = rest.find(' ');
+      pending_help = sp == std::string::npos ? rest : rest.substr(0, sp);
+      if (pending_help.empty()) return fail("HELP with no metric name");
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto rest = line.substr(7);
+      const auto sp = rest.find(' ');
+      if (sp == std::string::npos) return fail("TYPE with no type");
+      const std::string name = rest.substr(0, sp);
+      const std::string type = rest.substr(sp + 1);
+      if (!pending_help.empty() && pending_help != name) {
+        return fail("HELP for " + pending_help + " followed by TYPE for " + name);
+      }
+      pending_help.clear();
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown type '" + type + "' for " + name);
+      }
+      if (!typed.emplace(name, type).second) return fail("duplicate TYPE for " + name);
+      continue;
+    }
+    if (line[0] == '#') continue;
+    if (!pending_help.empty()) return fail("HELP for " + pending_help + " not followed by TYPE");
+
+    std::string name, label_block, value_str;
+    if (!split_sample(line, name, label_block, value_str)) return fail("malformed sample line");
+    Labels labels;
+    if (!parse_labels(label_block, labels)) return fail("malformed label block on " + name);
+
+    // Resolve the sample to its declaring family: exact for counter/gauge,
+    // suffix-stripped for histogram sample kinds.
+    std::string family = name;
+    std::string suffix;
+    auto it = typed.find(family);
+    if (it == typed.end()) {
+      for (const char* s : {"_bucket", "_sum", "_count"}) {
+        const std::string_view sv(s);
+        if (name.size() > sv.size() && name.compare(name.size() - sv.size(), sv.size(), s) == 0) {
+          const std::string base = name.substr(0, name.size() - sv.size());
+          const auto bit = typed.find(base);
+          if (bit != typed.end() && bit->second == "histogram") {
+            family = base;
+            suffix = s;
+            it = bit;
+            break;
+          }
+        }
+      }
+    }
+    if (it == typed.end()) return fail("sample " + name + " has no # TYPE declaration");
+    if (it->second == "histogram" && suffix.empty()) {
+      return fail("bare sample for histogram family " + family);
+    }
+
+    double value = 0;
+    if (!parse_number(value_str, value)) return fail("non-numeric value on " + name);
+    if (it->second == "counter" && value < 0) return fail("negative counter " + name);
+
+    if (suffix == "_bucket") {
+      std::string le;
+      Labels rest;
+      for (auto& kv : labels) {
+        if (kv.first == "le") {
+          le = kv.second;
+        } else {
+          rest.push_back(kv);
+        }
+      }
+      if (le.empty()) return fail("histogram bucket without le label on " + family);
+      auto& st = buckets[family + MetricsRegistry::label_string(rest)];
+      if (st.inf_seen) return fail("bucket after +Inf for " + family);
+      const auto cum = static_cast<std::uint64_t>(value);
+      if (cum < st.last_cum) return fail("non-monotone bucket counts for " + family);
+      st.last_cum = cum;
+      if (le == "+Inf") {
+        st.inf_seen = true;
+        st.inf_cum = cum;
+      }
+    } else if (suffix == "_count") {
+      const auto& st = buckets[family + MetricsRegistry::label_string(labels)];
+      if (!st.inf_seen) return fail("_count before +Inf bucket for " + family);
+      if (static_cast<std::uint64_t>(value) != st.inf_cum) {
+        return fail("_count disagrees with +Inf bucket for " + family);
+      }
+    }
+  }
+
+  if (!pending_help.empty()) {
+    lineno += 1;
+    return fail("trailing HELP for " + pending_help + " without TYPE");
+  }
+  for (const auto& [key, st] : buckets) {
+    if (!st.inf_seen) return std::optional<std::string>("histogram series " + key + " has no +Inf bucket");
+  }
+  return std::nullopt;
 }
 
 // --- span CSV --------------------------------------------------------------

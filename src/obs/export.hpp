@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,11 @@
 namespace canb::obs {
 
 /// Version of the JSON schemas written by this file (metrics and bench).
-/// v1 is the pre-obs hand-rolled bench JSON (no manifest, no version key).
-inline constexpr int kObsSchemaVersion = 2;
+/// v1 is the pre-obs hand-rolled bench JSON (no manifest, no version key);
+/// v3 adds the manifest "build" block (compiler, git, simd, schema) and the
+/// canb_build_info gauge. Consumers branching on `version >= 2` keep
+/// working: v3 only adds fields.
+inline constexpr int kObsSchemaVersion = 3;
 
 /// Shortest-round-trip-ish deterministic double formatting (%.12g); used
 /// by every exporter so artifacts are reproducible across runs.
@@ -81,7 +85,19 @@ class JsonWriter {
 /// Serializes the manifest as the current JSON object's "manifest" member.
 void write_manifest(JsonWriter& w, const RunManifest& manifest);
 
-/// Full metrics dump: {"schema_version":2, "kind":"metrics", "manifest":...,
+/// Emits the canb_build_info gauge (constant 1; identity rides the labels:
+/// compiler, git, schema, simd) so every scrape and metrics file names the
+/// build that produced it.
+void publish_build_info(MetricsRegistry& registry, const RunManifest& manifest);
+
+/// Structural validation of Prometheus text exposition output: every # HELP
+/// is immediately followed by # TYPE for the same family, every sample's
+/// base name was declared by a # TYPE, histogram buckets are cumulative
+/// monotone per series with a terminal +Inf bucket matching _count.
+/// Returns std::nullopt when valid, else a description of the first fault.
+std::optional<std::string> validate_prometheus(const std::string& text);
+
+/// Full metrics dump: {"schema_version":3, "kind":"metrics", "manifest":...,
 /// "metrics":[...], "critical_path":{...}?}.
 void write_metrics_json(std::ostream& out, const MetricsRegistry& registry,
                         const RunManifest& manifest,

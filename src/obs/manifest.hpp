@@ -15,9 +15,21 @@
 
 namespace canb::obs {
 
+/// Compiler identity baked at build time ("gcc 13.2.0", "clang ...").
+const char* build_compiler() noexcept;
+/// `git describe --always --dirty` of the build tree, injected by CMake
+/// via CANB_GIT_DESCRIBE; "unknown" outside a git checkout.
+const char* build_git_describe() noexcept;
+
 struct RunManifest {
   std::string tool = "canb";
   std::string machine;  ///< machine preset / model name
+  /// Build provenance (the schema-v3 "build" block): toolchain, source
+  /// revision, and the widest SIMD backend the host supports. `simd` is
+  /// filled by the embedding layer (obs cannot link against particles).
+  std::string compiler = build_compiler();
+  std::string git = build_git_describe();
+  std::string simd = "unknown";
   /// Ordered config entries; insertion order is preserved in exports.
   std::vector<std::pair<std::string, std::string>> config;
 

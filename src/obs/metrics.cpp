@@ -13,6 +13,28 @@ Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   counts_.assign(edges_.size() + 1, 0);
 }
 
+Histogram Histogram::from_parts(std::vector<double> edges, std::vector<std::uint64_t> counts,
+                                std::uint64_t count, double sum) {
+  Histogram h(std::move(edges));
+  CANB_REQUIRE(counts.size() == h.edges_.size() + 1,
+               "histogram parts need edges.size() + 1 bucket counts");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  CANB_REQUIRE(total == count, "histogram parts: count does not match the bucket sum");
+  h.counts_ = std::move(counts);
+  h.count_ = count;
+  h.sum_ = sum;
+  return h;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  CANB_REQUIRE(edges_ == other.edges_,
+               "histogram merge requires identical bucket edges");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Histogram::observe(double v) noexcept {
   // First bucket whose inclusive upper bound holds v; +Inf bucket otherwise.
   const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);

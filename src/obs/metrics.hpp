@@ -51,7 +51,18 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> edges);
 
+  /// Rebuilds a histogram from serialized parts (mesh snapshot decode).
+  /// `counts` must have edges.size() + 1 entries (the +Inf bucket included)
+  /// and `count` must equal their sum.
+  static Histogram from_parts(std::vector<double> edges, std::vector<std::uint64_t> counts,
+                              std::uint64_t count, double sum);
+
   void observe(double v) noexcept;
+
+  /// Adds another histogram's buckets, count, and sum into this one
+  /// (bucket-wise; the mesh merge operation). The edge vectors must match
+  /// exactly — merging differently-bucketed series is a schema error.
+  void merge_from(const Histogram& other);
 
   const std::vector<double>& edges() const noexcept { return edges_; }
   /// Per-bucket counts; size edges().size() + 1, last entry is the +Inf bucket.

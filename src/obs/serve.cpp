@@ -1,0 +1,173 @@
+#include "obs/serve.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/export.hpp"
+#include "support/assert.hpp"
+
+namespace canb::obs {
+namespace {
+
+constexpr const char* kIndex =
+    "canb live observability plane\n"
+    "  /metrics    Prometheus text exposition\n"
+    "  /healthz    step counter + phase (JSON)\n"
+    "  /spans.csv  per-rank clock series\n"
+    "  /trace.json Chrome trace JSON\n";
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CANB_REQUIRE(listen_fd_ >= 0, "metrics server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, never public
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(listen_fd_);
+    CANB_REQUIRE(false, "metrics server: cannot bind 127.0.0.1:" + std::to_string(port) +
+                            " (port in use?)");
+  }
+  CANB_REQUIRE(::listen(listen_fd_, 16) == 0, "metrics server: listen() failed");
+
+  socklen_t len = sizeof addr;
+  CANB_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+               "metrics server: getsockname() failed");
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  CANB_REQUIRE(::pipe(wake_fd_) == 0, "metrics server: pipe() failed");
+  content_.healthz = "{\"state\":\"starting\"}";
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (wake_fd_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] auto n = ::write(wake_fd_[1], &b, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  for (int fd : {listen_fd_, wake_fd_[0], wake_fd_[1]}) {
+    if (fd >= 0) ::close(fd);
+  }
+  listen_fd_ = wake_fd_[0] = wake_fd_[1] = -1;
+}
+
+void MetricsServer::publish(LiveContent content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (content.spans == nullptr) content.spans = content_.spans;
+  if (content.trace == nullptr) content.trace = content_.trace;
+  content_ = std::move(content);
+}
+
+void MetricsServer::loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::handle(int fd) {
+  // Scrapes are one short request line + headers; one read is enough for
+  // every real client, and a partial read just yields a 404/405.
+  char buf[4096];
+  const auto n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  requests_.fetch_add(1);
+
+  const std::string_view request(buf, static_cast<std::size_t>(n));
+  const auto line_end = request.find("\r\n");
+  const auto line = request.substr(0, line_end);
+  if (line.substr(0, 4) != "GET ") {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain", "GET only\n"));
+    return;
+  }
+  const auto path_end = line.find(' ', 4);
+  const auto path = line.substr(4, path_end == std::string_view::npos ? line.size() - 4
+                                                                      : path_end - 4);
+
+  LiveContent content;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    content = content_;
+  }
+
+  if (path == "/metrics") {
+    send_all(fd, http_response("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                               content.prometheus));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response("200 OK", "application/json", content.healthz));
+  } else if (path == "/spans.csv") {
+    if (content.spans == nullptr || content.spans->empty()) {
+      send_all(fd, http_response("404 Not Found", "text/plain",
+                                 "no spans published (needs --obs-level=full)\n"));
+      return;
+    }
+    std::ostringstream os;
+    write_span_csv(os, *content.spans);
+    send_all(fd, http_response("200 OK", "text/csv", os.str()));
+  } else if (path == "/trace.json") {
+    if (content.spans == nullptr || content.spans->empty()) {
+      send_all(fd, http_response("404 Not Found", "text/plain",
+                                 "no trace published (needs --obs-level=full)\n"));
+      return;
+    }
+    std::ostringstream os;
+    write_chrome_trace(os, *content.spans, content.trace.get());
+    send_all(fd, http_response("200 OK", "application/json", os.str()));
+  } else if (path == "/" || path.empty()) {
+    send_all(fd, http_response("200 OK", "text/plain", kIndex));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain", "unknown route\n"));
+  }
+}
+
+}  // namespace canb::obs

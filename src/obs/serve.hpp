@@ -1,0 +1,84 @@
+// MetricsServer: a minimal HTTP/1.1 scrape endpoint on a background
+// thread — plain POSIX sockets, loopback only, no dependencies.
+//
+// The server never touches live telemetry state. The orchestration thread
+// publishes an immutable LiveContent bundle at step boundaries
+// (pre-rendered Prometheus text and /healthz JSON, plus shared_ptr copies
+// of the span timeline and trace for the heavier endpoints); GET handlers
+// read the latest bundle under a mutex and render from the copy. The
+// simulation therefore pays one render + a pointer swap per publish, and a
+// scrape can never observe a half-updated registry — the plane stays
+// bitwise-inert by construction.
+//
+// Endpoints:
+//   GET /          — plain-text index of the routes below
+//   GET /metrics   — Prometheus text exposition (text/plain; version=0.0.4)
+//   GET /healthz   — JSON: step counter, phase, run state
+//   GET /spans.csv — per-rank clock series (404 until spans are published)
+//   GET /trace.json— Chrome trace JSON (404 until a trace is published)
+// Anything else 404s; non-GET methods 405. Connection: close on every
+// response — scrapes are infrequent, keep-alive buys nothing here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/span.hpp"
+#include "vmpi/trace.hpp"
+
+namespace canb::obs {
+
+/// One immutable publication: what every endpoint serves until the next
+/// publish(). Spans/trace may be null (endpoints 404); a publish with null
+/// spans/trace keeps the previously published ones, so cheap every-step
+/// publishes don't have to re-copy the heavy structures.
+struct LiveContent {
+  std::string prometheus;
+  std::string healthz;
+  std::shared_ptr<const SpanTimeline> spans;
+  std::shared_ptr<const vmpi::TraceRecorder> trace;
+};
+
+class MetricsServer {
+ public:
+  /// Binds 127.0.0.1:`port` and starts the serving thread. Port 0 picks an
+  /// ephemeral port (see port()). Throws on bind failure (port in use).
+  explicit MetricsServer(int port);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  int port() const noexcept { return port_; }
+  std::string url() const { return "http://127.0.0.1:" + std::to_string(port_); }
+
+  /// Swaps in new content; null spans/trace retain the previous ones.
+  void publish(LiveContent content);
+
+  /// Requests answered so far (any route, including 404s).
+  std::uint64_t requests_served() const noexcept { return requests_.load(); }
+
+  /// Stops the serving thread and closes the listener; idempotent. The
+  /// destructor calls it, so explicit teardown before process exit needs
+  /// nothing beyond destroying the server.
+  void stop();
+
+ private:
+  void loop();
+  void handle(int fd);
+
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  ///< self-pipe: unblocks poll() for stop()
+  int port_ = 0;
+  std::mutex mu_;
+  LiveContent content_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace canb::obs

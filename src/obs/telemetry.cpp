@@ -91,8 +91,14 @@ void Telemetry::begin_step(const vmpi::VirtualComm& vc) {
   }
 }
 
+Labels Telemetry::with_group(Labels labels) const {
+  if (group_ >= 0) labels.emplace_back("group", std::to_string(group_));
+  return labels;
+}
+
 void Telemetry::phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase,
                                std::string label) {
+  last_phase_label_ = label;
   if (!spans_enabled()) return;
   SpanSample s;
   s.label = std::move(label);
@@ -110,20 +116,24 @@ void Telemetry::phase_boundary(const vmpi::VirtualComm& vc, vmpi::Phase phase,
 void Telemetry::publish_scheduler(std::string_view mode, const SchedulerStats& stats) {
   if (!enabled() || stats.calls == 0) return;
   registry_
-      .gauge("canb_sched_info", {{"mode", std::string(mode)}},
+      .gauge("canb_sched_info", with_group({{"mode", std::string(mode)}}),
              "host task scheduler in effect (value 1; mode label carries the choice)")
       .set(1.0);
   registry_
-      .counter("canb_sched_calls_total", {}, "parallel_tasks invocations on the host pool")
-      .inc(stats.calls);
-  registry_.counter("canb_sched_tasks_total", {}, "tasks executed across all workers")
-      .inc(stats.tasks);
+      .counter("canb_sched_calls_total", with_group({}),
+               "parallel_tasks invocations on the host pool")
+      .inc(stats.calls - last_sched_calls_);
+  registry_.counter("canb_sched_tasks_total", with_group({}), "tasks executed across all workers")
+      .inc(stats.tasks - last_sched_tasks_);
   registry_
-      .counter("canb_steal_total", {},
+      .counter("canb_steal_total", with_group({}),
                "steal operations (batches clipped from another worker's deque)")
-      .inc(stats.steals);
+      .inc(stats.steals - last_sched_steals_);
+  last_sched_calls_ = stats.calls;
+  last_sched_tasks_ = stats.tasks;
+  last_sched_steals_ = stats.steals;
   for (std::size_t w = 0; w < stats.tasks_per_worker.size(); ++w) {
-    const Labels labels{{"worker", std::to_string(w)}};
+    const Labels labels = with_group({{"worker", std::to_string(w)}});
     registry_
         .gauge("canb_tasks_per_worker", labels,
                "tasks this worker executed (own + stolen); HOST wall accounting")
@@ -142,47 +152,72 @@ void Telemetry::publish_scheduler(std::string_view mode, const SchedulerStats& s
 void Telemetry::publish_transport(std::string_view kind, const vmpi::TransportStats& stats) {
   if (!enabled() || stats.frames_sent == 0) return;
   registry_
-      .gauge("canb_transport_info", {{"kind", std::string(kind)}},
+      .gauge("canb_transport_info", with_group({{"kind", std::string(kind)}}),
              "real transport in effect (value 1; kind label carries the backend)")
       .set(1.0);
   registry_
-      .counter("canb_transport_frames_sent_total", {},
+      .counter("canb_transport_frames_sent_total", with_group({}),
                "payload frames this endpoint posted to the fabric")
-      .inc(stats.frames_sent);
+      .inc(stats.frames_sent - last_transport_.frames_sent);
   registry_
-      .counter("canb_transport_bytes_sent_total", {}, "payload bytes posted to the fabric")
-      .inc(stats.bytes_sent);
+      .counter("canb_transport_bytes_sent_total", with_group({}),
+               "payload bytes posted to the fabric")
+      .inc(stats.bytes_sent - last_transport_.bytes_sent);
   registry_
-      .counter("canb_transport_frames_received_total", {},
+      .counter("canb_transport_frames_received_total", with_group({}),
                "payload frames delivered into this endpoint's mailboxes")
-      .inc(stats.frames_received);
+      .inc(stats.frames_received - last_transport_.frames_received);
   registry_
-      .counter("canb_transport_bytes_received_total", {}, "payload bytes delivered")
-      .inc(stats.bytes_received);
+      .counter("canb_transport_bytes_received_total", with_group({}), "payload bytes delivered")
+      .inc(stats.bytes_received - last_transport_.bytes_received);
   registry_
-      .counter("canb_transport_retransmits_total", {},
+      .counter("canb_transport_retransmits_total", with_group({}),
                "reliable-channel data frames re-sent after a timeout")
-      .inc(stats.retransmits);
+      .inc(stats.retransmits - last_transport_.retransmits);
   registry_
-      .counter("canb_transport_acks_total", {}, "reliable-channel acks emitted")
-      .inc(stats.acks_sent);
+      .counter("canb_transport_acks_total", with_group({}), "reliable-channel acks emitted")
+      .inc(stats.acks_sent - last_transport_.acks_sent);
   registry_
-      .counter("canb_transport_duplicates_total", {},
+      .counter("canb_transport_duplicates_total", with_group({}),
                "duplicate/stale frames discarded by the reliable channel")
-      .inc(stats.duplicates_dropped);
+      .inc(stats.duplicates_dropped - last_transport_.duplicates_dropped);
+  last_transport_ = stats;
 }
 
-void Telemetry::finalize(const vmpi::VirtualComm& vc) {
+void Telemetry::publish_host_phases() {
   if (!enabled()) return;
   for (std::size_t i = 0; i < vmpi::kPhaseCount; ++i) {
     if (host_phase_seconds_[i] == 0.0) continue;  // phase never moved host data
     const auto phase = static_cast<vmpi::Phase>(i);
     registry_
-        .gauge("canb_host_phase_seconds", {{"phase", vmpi::phase_name(phase)}},
+        .gauge("canb_host_phase_seconds", with_group({{"phase", vmpi::phase_name(phase)}}),
                "HOST wall seconds moving buffers for this phase (data plane; "
                "not virtual time)")
         .set(host_phase_seconds_[i]);
   }
+}
+
+std::uint64_t Telemetry::sweep_pairs_examined() const noexcept {
+  double total = 0.0;
+  for (double v : sweep_examined_) total += v;
+  return static_cast<std::uint64_t>(total);
+}
+
+std::uint64_t Telemetry::sweep_pairs_computed() const noexcept {
+  double total = 0.0;
+  for (double v : sweep_computed_) total += v;
+  return static_cast<std::uint64_t>(total);
+}
+
+double Telemetry::host_seconds() const noexcept {
+  double total = 0.0;
+  for (double v : host_phase_seconds_) total += v;
+  return total;
+}
+
+void Telemetry::finalize(const vmpi::VirtualComm& vc) {
+  if (!enabled()) return;
+  publish_host_phases();
   double sweep_pairs = 0.0;
   double sweep_computed = 0.0;
   double sweep_calls = 0.0;

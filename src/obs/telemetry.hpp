@@ -35,6 +35,7 @@
 #include "support/parallel.hpp"
 #include "vmpi/observer.hpp"
 #include "vmpi/trace.hpp"
+#include "vmpi/transport.hpp"
 #include "vmpi/virtual_comm.hpp"
 
 namespace canb::obs {
@@ -81,12 +82,23 @@ class Telemetry final : public vmpi::CommObserver {
   /// (telemetry itself stays independent of the particles library).
   void set_sweep_backend(std::string name) { sweep_backend_ = std::move(name); }
 
+  /// Mesh identity. Once set (>= 0), every process-local series this
+  /// telemetry publishes afterwards carries a {"group", "<g>"} label, so
+  /// the mesh-merged registry (obs/snapshot.hpp) keeps one disjoint series
+  /// per OS process and the Prometheus sum over the group label equals the
+  /// whole-mesh total. Leave unset (-1) on single-endpoint runs to keep
+  /// the historical unlabeled series.
+  void set_group(int group) noexcept { group_ = group; }
+  int group() const noexcept { return group_; }
+
   /// Publishes host scheduler counters from a ThreadPool's SchedulerStats
   /// (support/parallel.hpp): canb_steal_total, canb_sched_tasks_total,
   /// canb_sched_calls_total, per-worker task/busy/idle series, and a
   /// canb_sched_info{mode=...} marker gauge. Host wall-time observability
-  /// only — nothing here reads back into the simulation. Call once before
-  /// finalize(); a no-op when the stats carry no calls.
+  /// only — nothing here reads back into the simulation. Safe to call every
+  /// step: counters publish the delta since the previous call, so the final
+  /// values match a single publish at the end. A no-op while the stats
+  /// carry no calls.
   void publish_scheduler(std::string_view mode, const SchedulerStats& stats);
 
   /// Publishes real-transport fabric counters (vmpi/transport.hpp):
@@ -94,8 +106,25 @@ class Telemetry final : public vmpi::CommObserver {
   /// retransmit/ack/duplicate totals, and a canb_transport_info{kind=...}
   /// marker gauge. Fabric observability only — the virtual-cost ledger is
   /// charged before any of these bytes move, so these series never feed
-  /// back. Call once before finalize(); a no-op when no frames moved.
+  /// back. Delta-based like publish_scheduler, so the live scrape plane can
+  /// call it each step. A no-op until the first frame moves.
   void publish_transport(std::string_view kind, const vmpi::TransportStats& stats);
+
+  /// Publishes the per-phase HOST data-plane gauges accumulated so far.
+  /// Gauges are set, not inc'd, so calling every step is idempotent at the
+  /// end of the run; finalize() includes it.
+  void publish_host_phases();
+
+  // --- live accessors (flight recorder / scrape plane) ----------------------
+  std::uint64_t sweep_pairs_examined() const noexcept;
+  std::uint64_t sweep_pairs_computed() const noexcept;
+  /// Total HOST data-plane seconds across phases so far.
+  double host_seconds() const noexcept;
+  /// Label of the most recent phase_boundary() call (tracked at every
+  /// level, not just Full); "" before the first boundary.
+  const std::string& last_phase_label() const noexcept { return last_phase_label_; }
+  /// Steps begun so far (begin_step count); -1 before the first step.
+  int current_step() const noexcept { return step_; }
 
   /// Folds per-rank accumulators (compute seconds, wait seconds, final
   /// clocks) into registry gauges. Call once after the run.
@@ -128,6 +157,8 @@ class Telemetry final : public vmpi::CommObserver {
   };
 
   PhaseSeries& series_for(vmpi::Phase phase);
+  /// Appends {"group", group_} when mesh identity is set.
+  Labels with_group(Labels labels) const;
 
   ObsLevel level_;
   MetricsRegistry registry_;
@@ -152,6 +183,14 @@ class Telemetry final : public vmpi::CommObserver {
   /// published as gauges by finalize().
   std::array<double, vmpi::kPhaseCount> host_phase_seconds_{};
   int step_ = -1;
+  int group_ = -1;  ///< mesh identity; -1 = single endpoint, no group label
+  std::string last_phase_label_;
+  // Last-published stats, so the publish_* family can run every step and
+  // inc only the delta (final totals identical to one publish at the end).
+  vmpi::TransportStats last_transport_{};
+  std::uint64_t last_sched_calls_ = 0;
+  std::uint64_t last_sched_tasks_ = 0;
+  std::uint64_t last_sched_steals_ = 0;
 };
 
 }  // namespace canb::obs

@@ -4,10 +4,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -21,6 +23,11 @@
 #include "decomp/force_decomposition.hpp"
 #include "decomp/partition.hpp"
 #include "decomp/particle_decomposition.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/serve.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/step_series.hpp"
 #include "obs/telemetry.hpp"
 #include "particles/init.hpp"
 #include "particles/simd/simd.hpp"
@@ -133,6 +140,18 @@ class Simulation {
     /// Shared (not unique) so multi-endpoint harnesses can hold the
     /// endpoint while the Simulation uses it.
     std::shared_ptr<vmpi::Transport> transport;
+    /// Live scrape endpoint (obs/serve.hpp): when >= 0, an HTTP server
+    /// binds 127.0.0.1:<port> (0 = ephemeral) and serves /metrics,
+    /// /healthz, /spans.csv, /trace.json refreshed every step. On a
+    /// multi-group transport only group 0 serves (the mesh-merged view).
+    /// Requires obs != Off.
+    int serve_port = -1;
+    /// Flight recorder (obs/step_series.hpp): per-step sample ring of this
+    /// capacity; 0 disables. Requires obs != Off.
+    int series_capacity = 0;
+    /// A step whose HOST wall time exceeds this multiple of the rolling
+    /// median is flagged as a straggler in the flight recorder.
+    double straggler_factor = 3.0;
   };
 
   Simulation(Config cfg, particles::Block initial)
@@ -172,6 +191,42 @@ class Simulation {
       telemetry_->set_sweep_backend(
           particles::simd::backend_name(particles::simd::active()));
     }
+    CANB_REQUIRE(cfg_.serve_port < 0 || telemetry_ != nullptr,
+                 "serve_port needs observability enabled (obs != Off)");
+    CANB_REQUIRE(cfg_.series_capacity == 0 || telemetry_ != nullptr,
+                 "series_capacity needs observability enabled (obs != Off)");
+
+    // Provenance for every export this run produces. The CLI augments it
+    // (workload, seeds, thread counts) before the first artifact is written.
+    manifest_.machine = cfg_.machine.name;
+    manifest_.simd = particles::simd::backend_name(particles::simd::max_supported());
+    manifest_.set("method", method_name(cfg_.method));
+    manifest_.set("p", cfg_.p);
+    manifest_.set("c", cfg_.c);
+    manifest_.set("dt", cfg_.dt);
+    if (cfg_.cutoff > 0.0) manifest_.set("cutoff", cfg_.cutoff);
+    manifest_.set("engine", particles::engine_name(cfg_.engine));
+    manifest_.set("obs_level", obs::obs_level_name(cfg_.obs));
+    if (cfg_.transport) {
+      manifest_.set("transport", vmpi::transport_kind_name(cfg_.transport->kind()));
+      manifest_.set("transport_groups", cfg_.transport->groups());
+    }
+
+    if (telemetry_) {
+      // Multi-group transport: label this process's series and stand up the
+      // step-boundary snapshot push so group 0 can export mesh-wide totals.
+      if (cfg_.transport && cfg_.transport->groups() > 1) {
+        telemetry_->set_group(cfg_.transport->group());
+        mesh_ = std::make_unique<obs::MeshAggregator>(cfg_.transport);
+      }
+      if (cfg_.series_capacity > 0) {
+        series_ = std::make_unique<obs::StepSeries>(
+            static_cast<std::size_t>(cfg_.series_capacity), cfg_.straggler_factor);
+      }
+      if (cfg_.serve_port >= 0 && (mesh_ == nullptr || mesh_->primary())) {
+        server_ = std::make_unique<obs::MetricsServer>(cfg_.serve_port);
+      }
+    }
   }
 
   void set_integrator(const std::string& name) {
@@ -196,8 +251,45 @@ class Simulation {
   }
 
   void step() {
+    // The live plane reads pre-step baselines so the flight recorder can
+    // attribute per-step deltas. All of it is observation: the engine step
+    // itself is untouched, so runs stay bitwise identical plane-on/off.
+    const bool live = telemetry_ && (server_ || series_ || mesh_);
+    std::chrono::steady_clock::time_point wall0{};
+    obs::StepSample sample;
+    if (live) {
+      wall0 = std::chrono::steady_clock::now();
+      sample.clock_advance_seconds = max_virtual_clock();
+      sample.pairs_examined = telemetry_->sweep_pairs_examined();
+      sample.pairs_computed = telemetry_->sweep_pairs_computed();
+      sample.steals = pool_ ? pool_->scheduler_stats().steals : 0;
+      sample.retransmits = cfg_.transport ? cfg_.transport->stats().retransmits : 0;
+      sample.host_phase_seconds = telemetry_->host_seconds();
+    }
+
     std::visit([](auto& e) { e.step(); }, engine_);
     ++steps_;
+
+    if (live) {
+      publish_live();
+      if (series_) {
+        sample.step = steps_;
+        sample.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+        sample.clock_advance_seconds = max_virtual_clock() - sample.clock_advance_seconds;
+        sample.pairs_examined = telemetry_->sweep_pairs_examined() - sample.pairs_examined;
+        sample.pairs_computed = telemetry_->sweep_pairs_computed() - sample.pairs_computed;
+        sample.steals = (pool_ ? pool_->scheduler_stats().steals : 0) - sample.steals;
+        sample.retransmits =
+            (cfg_.transport ? cfg_.transport->stats().retransmits : 0) - sample.retransmits;
+        sample.host_phase_seconds = telemetry_->host_seconds() - sample.host_phase_seconds;
+        series_->record(sample);
+      }
+      // Symmetric mesh exchange: every group reaches this point once per
+      // step (same config, same schedule), so the push/recv pair matches.
+      if (mesh_) mesh_->exchange(telemetry_->metrics(), static_cast<std::uint64_t>(steps_));
+      publish_server(false);
+    }
   }
 
   void run(int steps) {
@@ -237,19 +329,50 @@ class Simulation {
 
   /// Folds per-rank telemetry accumulators into gauges and recovers the
   /// critical path from the span timeline (empty report below Full level).
-  /// Call after the last step.
+  /// Call after the last step — on EVERY group of a multi-group transport
+  /// (the final mesh exchange is symmetric); export the artifacts from
+  /// group 0 only.
   obs::CriticalPathReport finalize_telemetry() {
     if (!telemetry_) return {};
-    if (pool_) {
-      telemetry_->publish_scheduler(to_string(pool_->sched_mode()), pool_->scheduler_stats());
-    }
-    if (cfg_.transport) {
-      telemetry_->publish_transport(vmpi::transport_kind_name(cfg_.transport->kind()),
-                                    cfg_.transport->stats());
-    }
+    publish_live();
     telemetry_->finalize(comm());
+    // Final push carries the registry with all finalize-time series, so
+    // merged exports see each group's complete process-local state.
+    if (mesh_) mesh_->exchange(telemetry_->metrics(), static_cast<std::uint64_t>(steps_));
+    publish_server(true);
     return obs::analyze_critical_path(telemetry_->spans(), telemetry_->trace());
   }
+
+  /// The registry every exporter should serialize: on a mesh primary, the
+  /// local registry with each remote group's latest snapshot merged in;
+  /// otherwise a copy of the local registry (empty when obs is Off).
+  obs::MetricsRegistry merged_metrics() const {
+    if (!telemetry_) return {};
+    if (mesh_ && mesh_->primary()) return mesh_->merged(telemetry_->metrics());
+    return telemetry_->metrics();
+  }
+
+  /// Largest rank virtual clock (the virtual makespan so far).
+  double max_virtual_clock() const {
+    const auto& vc = comm();
+    double m = 0.0;
+    for (int r = 0; r < vc.size(); ++r) m = std::max(m, vc.clock(r));
+    return m;
+  }
+
+  /// Run provenance; mutable so the embedding CLI can add workload keys
+  /// before the first export.
+  obs::RunManifest& manifest() noexcept { return manifest_; }
+  const obs::RunManifest& manifest() const noexcept { return manifest_; }
+
+  /// The live scrape server, or nullptr (obs off / no serve port / not the
+  /// mesh primary).
+  obs::MetricsServer* server() noexcept { return server_.get(); }
+  /// The flight recorder, or nullptr when series_capacity is 0.
+  obs::StepSeries* step_series() noexcept { return series_.get(); }
+  const obs::StepSeries* step_series() const noexcept { return series_.get(); }
+  /// The mesh aggregator, or nullptr on single-endpoint runs.
+  const obs::MeshAggregator* mesh() const noexcept { return mesh_.get(); }
 
   /// Per-step report over every step taken so far.
   RunReport report(std::string label = {}) const {
@@ -403,6 +526,61 @@ class Simulation {
     throw PreconditionError("unreachable");
   }
 
+  /// Spans/trace are heavier to copy than the metrics text, so the server
+  /// re-publishes them every this-many steps (plus once at finalize).
+  static constexpr int kServeSpanStride = 8;
+
+  /// Pushes current scheduler/transport/host-phase state into the registry
+  /// (all delta-based or idempotent, so per-step calls end at the same
+  /// totals as one finalize-time call) and stamps the build-info gauge.
+  void publish_live() {
+    if (!telemetry_) return;
+    if (pool_) {
+      telemetry_->publish_scheduler(to_string(pool_->sched_mode()), pool_->scheduler_stats());
+    }
+    if (cfg_.transport) {
+      telemetry_->publish_transport(vmpi::transport_kind_name(cfg_.transport->kind()),
+                                    cfg_.transport->stats());
+    }
+    telemetry_->publish_host_phases();
+    if (!build_info_published_) {
+      obs::publish_build_info(telemetry_->metrics(), manifest_);
+      build_info_published_ = true;
+    }
+  }
+
+  std::string healthz_json(bool finished) const {
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("state", finished ? "finished" : "running");
+    w.kv("step", steps_);
+    w.kv("phase", telemetry_ ? telemetry_->last_phase_label() : std::string());
+    w.kv("method", method_name(cfg_.method));
+    w.kv("p", cfg_.p);
+    w.kv("groups", mesh_ ? mesh_->groups() : 1);
+    w.kv("max_virtual_clock_seconds", max_virtual_clock());
+    w.end_object();
+    return os.str();
+  }
+
+  /// Renders and swaps the scrape content. Cheap parts (metrics text,
+  /// healthz) refresh every call; span/trace copies only on the stride.
+  void publish_server(bool finished) {
+    if (!server_) return;
+    obs::LiveContent content;
+    content.prometheus = obs::to_prometheus(merged_metrics());
+    content.healthz = healthz_json(finished);
+    if (telemetry_->spans_enabled() && !telemetry_->spans().empty() &&
+        (finished || steps_ % kServeSpanStride == 0)) {
+      content.spans = std::make_shared<obs::SpanTimeline>(telemetry_->spans());
+      if (telemetry_->trace() != nullptr) {
+        content.trace = std::make_shared<vmpi::TraceRecorder>(*telemetry_->trace());
+      }
+    }
+    server_->publish(std::move(content));
+  }
+
   Config cfg_;
   /// Declared before engine_: maybe_tune edits cfg_ (and the SIMD dispatch)
   /// before make_engine constructs the policy from it.
@@ -419,6 +597,14 @@ class Simulation {
   /// finalize_telemetry can publish the scheduler's counters.
   std::shared_ptr<ThreadPool> pool_;
   int steps_ = 0;
+  obs::RunManifest manifest_;
+  std::unique_ptr<obs::MeshAggregator> mesh_;
+  std::unique_ptr<obs::StepSeries> series_;
+  bool build_info_published_ = false;
+  /// Declared last: the serving thread reads only content it was handed,
+  /// but tearing it down first on destruction keeps the shutdown ordering
+  /// obvious (no scrape can race the engine's teardown).
+  std::unique_ptr<obs::MetricsServer> server_;
 };
 
 }  // namespace canb::sim

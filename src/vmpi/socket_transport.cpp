@@ -260,11 +260,18 @@ void SocketTransport::egress_locked(Peer& p, const Frame& f) {
   if (!write_all(p.fd, p.egress_scratch.data(), p.egress_scratch.size())) {
     p.write_failed = true;
     // A dead peer is fatal only for frames the protocol still needs to
-    // deliver. Ack writes race benignly with the peer's teardown: a peer
-    // that closed its end has flushed (everything it sent is acked) and
-    // needs no further acks — this happens when a late duplicate of ours
-    // reaches it mid-close and its re-ack finds our shutdown socket.
-    CANB_ASSERT_MSG(f.kind == FrameKind::Ack || closing_.load(std::memory_order_relaxed),
+    // deliver. Two writes race benignly with the peer's teardown:
+    //  * Acks — a peer that closed its end has flushed (everything it
+    //    sent is acked) and needs no further acks; a late duplicate of
+    //    ours reaches it mid-close and its re-ack finds a shut socket.
+    //  * Barrier (re)writes — a peer can only close after passing the
+    //    destructor barrier, which required delivering every sequenced
+    //    frame we sent it, this one included. Only its ack was lost to
+    //    the shutdown race, so the retransmit had nothing left to
+    //    deliver (its write_failed mark lets flush_peers() return).
+    // Data frames keep the hard assert: a peer never legitimately closes
+    // while our data is unacked — the destructor flushes before closing.
+    CANB_ASSERT_MSG(f.kind != FrameKind::Data || closing_.load(std::memory_order_relaxed),
                     "socket transport write failed mid-run");
   }
 }

@@ -82,8 +82,9 @@ class SocketTransport final : public Transport {
 
   /// Balanced block partition of ranks over groups.
   int group_of(int rank) const noexcept;
-  int group() const noexcept { return cfg_.group; }
-  int groups() const noexcept { return cfg_.groups; }
+  int group() const noexcept override { return cfg_.group; }
+  int groups() const noexcept override { return cfg_.groups; }
+  int owner_group(int rank) const noexcept override { return group_of(rank); }
 
  private:
   struct Mailbox;

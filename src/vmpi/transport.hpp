@@ -55,6 +55,13 @@ enum class TransportKind { Modeled, Shmem, Socket };
 const char* transport_kind_name(TransportKind k) noexcept;
 std::optional<TransportKind> parse_transport_kind(std::string_view name) noexcept;
 
+/// Tags at or above this value are reserved for out-of-band control flows
+/// that ride the transport without touching the virtual cost model —
+/// today the telemetry snapshot push (obs/snapshot.hpp), tomorrow session
+/// control. VirtualComm::next_transport_tag() allocates data-flow tags by
+/// counting up from 1 and can never reach this range.
+inline constexpr std::uint64_t kReservedTagBase = 0xFFFF'FFFF'0000'0000ull;
+
 /// Fabric-side counters, published as canb_transport_* metrics. All zero
 /// for the modeled arm (no transport attached): the cost model is the
 /// source of truth there, not a fabric.
@@ -75,6 +82,14 @@ class Transport {
   virtual TransportKind kind() const noexcept = 0;
   virtual int ranks() const noexcept = 0;
   virtual bool local(int rank) const noexcept { (void)rank; return true; }
+
+  /// How ranks partition into OS endpoints. Single-endpoint backends
+  /// (modeled, shmem) are one group owning every rank; the socket backend
+  /// reports its process-group geometry so mesh-wide telemetry aggregation
+  /// (obs/snapshot.hpp) can address peer endpoints.
+  virtual int groups() const noexcept { return 1; }
+  virtual int group() const noexcept { return 0; }
+  virtual int owner_group(int rank) const noexcept { (void)rank; return 0; }
 
   virtual void send(int src, int dst, std::uint64_t tag, std::span<const std::byte> payload) = 0;
   virtual void recv(int src, int dst, std::uint64_t tag, wire::Bytes& out) = 0;

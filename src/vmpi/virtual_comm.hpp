@@ -88,7 +88,9 @@ class VirtualComm {
   /// Per-round message tag for transport flows. Every primitive call draws
   /// one tag; under SPMD lockstep execution all processes draw the same
   /// sequence, which is what lets send/recv pairs match across processes
-  /// without any negotiation.
+  /// without any negotiation. Counts up from 1 — tags at or above
+  /// vmpi::kReservedTagBase belong to out-of-band control flows (telemetry
+  /// snapshots) and are never allocated here.
   std::uint64_t next_transport_tag() noexcept { return ++transport_tag_; }
 
   // --- local charges -----------------------------------------------------

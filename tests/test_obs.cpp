@@ -113,12 +113,18 @@ TEST(ObsExport, MetricsJsonGolden) {
   const auto reg = make_golden_registry();
   obs::RunManifest manifest;
   manifest.machine = "testbox";
+  // Pin the build block so the golden is environment-independent.
+  manifest.compiler = "test-cc";
+  manifest.git = "deadbeef";
+  manifest.simd = "scalar";
   manifest.set("p", 3);
   std::ostringstream out;
   obs::write_metrics_json(out, reg, manifest);
   const std::string expected =
-      "{\"schema_version\":2,\"kind\":\"metrics\","
-      "\"manifest\":{\"tool\":\"canb\",\"machine\":\"testbox\",\"config\":{\"p\":\"3\"}},"
+      "{\"schema_version\":3,\"kind\":\"metrics\","
+      "\"manifest\":{\"tool\":\"canb\",\"machine\":\"testbox\","
+      "\"build\":{\"compiler\":\"test-cc\",\"git\":\"deadbeef\",\"simd\":\"scalar\",\"schema\":3},"
+      "\"config\":{\"p\":\"3\"}},"
       "\"metrics\":["
       "{\"name\":\"canb_bytes\",\"type\":\"histogram\",\"series\":["
       "{\"labels\":{\"phase\":\"shift\"},\"edges\":[1,2],\"counts\":[2,1,1],"

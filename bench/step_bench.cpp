@@ -19,10 +19,13 @@
 // the recorder cannot perturb the recorded steps/sec.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "machine/presets.hpp"
@@ -33,6 +36,8 @@
 #include "support/assert.hpp"
 #include "support/cli.hpp"
 #include "support/parallel.hpp"
+#include "vmpi/socket_transport.hpp"
+#include "vmpi/transport.hpp"
 
 namespace {
 
@@ -73,8 +78,10 @@ const char* engine_label(particles::KernelEngine e) {
 
 /// Builds a fresh Simulation for the case (identical initial state every
 /// time: the workload seed is fixed).
-sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs,
-                                                            int series_capacity = 0) {
+sim::Simulation<particles::InverseSquareRepulsion> make_sim(
+    const Case& cs, int series_capacity = 0,
+    std::shared_ptr<vmpi::Transport> transport = nullptr,
+    vmpi::ExecMode exec = vmpi::ExecMode::OwnerComputes) {
   sim::Simulation<particles::InverseSquareRepulsion>::Config cfg;
   cfg.method = cs.method;
   cfg.p = cs.p;
@@ -87,6 +94,8 @@ sim::Simulation<particles::InverseSquareRepulsion> make_sim(const Case& cs,
   cfg.pooled_data_plane = cs.pooled;
   cfg.sched = cs.sched;
   cfg.steal_grain = cs.steal_grain;
+  cfg.transport = std::move(transport);
+  cfg.exec = exec;
   if (series_capacity > 0) {
     cfg.obs = obs::ObsLevel::Metrics;
     cfg.series_capacity = series_capacity;
@@ -140,8 +149,58 @@ double measure_steps_per_sec(const Case& cs, double min_ms, int repeats) {
   return best;
 }
 
-void write_json(const std::string& path, const std::vector<Result>& rs, double min_ms,
-                int repeats) {
+struct SocketResult {
+  Case cfg;
+  int groups = 0;
+  vmpi::ExecMode exec = vmpi::ExecMode::OwnerComputes;
+  int steps = 0;
+  double steps_per_sec = 0.0;
+};
+
+/// The socket arm: forks `groups` OS processes over a Unix-socket mesh and
+/// times `steps` fixed steps on the primary, barrier-aligned on both ends
+/// so the window covers the whole mesh's work. Runs lockstep and
+/// owner-computes back-to-back from the same binary on the same host, so
+/// the recorded ratio (owner-computes skips the non-owned ~ (G-1)/G of the
+/// force sweeps) is an honest same-host comparison. MUST run before any
+/// ThreadPool exists — fork precedes threads — which is why main() does
+/// the socket cases first, single-threaded. Children exit here; only the
+/// primary returns.
+double measure_socket_steps_per_sec(const Case& cs, int groups, vmpi::ExecMode exec,
+                                    int steps) {
+  const std::string dir = vmpi::make_rendezvous_dir();
+  vmpi::ProcessGroup pg(groups);
+  double sps = 0.0;
+  {
+    vmpi::SocketConfig sc;
+    sc.ranks = cs.p;
+    sc.groups = groups;
+    sc.group = pg.group();
+    sc.dir = dir;
+    auto transport = std::make_shared<vmpi::SocketTransport>(sc);
+    auto simulation = make_sim(cs, 0, transport, exec);
+    simulation.step();  // warmup: faults pages, primes scratch + mailboxes
+    transport->barrier();
+    const auto start = std::chrono::steady_clock::now();
+    simulation.run(steps);
+    transport->barrier();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    sps = static_cast<double>(steps) / elapsed;
+    // gather() is symmetric under owner-computes: every group participates.
+    g_sink = g_sink + simulation.gather()[0].px;
+    // Scope exit drops the endpoint (flush + close-barrier) with every
+    // process still alive.
+  }
+  if (!pg.primary()) std::_Exit(0);
+  CANB_REQUIRE(pg.wait_children() == 0, "a forked bench group failed");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return sps;
+}
+
+void write_json(const std::string& path, const std::vector<Result>& rs,
+                const std::vector<SocketResult>& socket_rs, double min_ms, int repeats) {
   obs::RunManifest manifest;
   manifest.machine = "host";
   manifest
@@ -167,17 +226,57 @@ void write_json(const std::string& path, const std::vector<Result>& rs, double m
           .kv("steps_per_sec", r.steps_per_sec);
     });
   }
+  // Socket-mesh rows: lockstep vs owner-computes wall clock, back to back.
+  for (const auto& r : socket_rs) {
+    out.row([&](obs::JsonWriter& w) {
+      w.kv("method", sim::method_name(r.cfg.method))
+          .kv("n", r.cfg.n)
+          .kv("p", r.cfg.p)
+          .kv("c", r.cfg.c)
+          .kv("cutoff", r.cfg.cutoff)
+          .kv("engine", engine_label(r.cfg.engine))
+          .kv("threads", r.cfg.threads)
+          .kv("transport", "socket")
+          .kv("groups", r.groups)
+          .kv("exec", vmpi::exec_mode_name(r.exec))
+          .kv("steps", r.steps)
+          .kv("steps_per_sec", r.steps_per_sec);
+    });
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"out", "min-ms", "repeats", "series-out", "series-steps"});
+  const CliArgs args(argc, argv,
+                     {"out", "min-ms", "repeats", "series-out", "series-steps", "socket-steps"});
   const std::string out_path = args.get("out", "BENCH_step.json");
   const double min_ms = args.get_double("min-ms", 400.0);
   const int repeats = static_cast<int>(args.get_int("repeats", 3));
   const std::string series_out = args.get("series-out", "");
   const int series_steps = static_cast<int>(args.get_int("series-steps", 64));
+  const int socket_steps = static_cast<int>(args.get_int("socket-steps", 24));
+
+  // Socket-mesh arm FIRST: ProcessGroup forks, and fork must precede any
+  // thread this process ever spawns (ThreadPool workers, transport
+  // readers are joined before each case ends). Lockstep and
+  // owner-computes run back to back per group count so BENCH_step.json
+  // records the wall-clock ratio of dividing the sweeps vs replicating
+  // them. --socket-steps=0 skips the arm.
+  std::vector<SocketResult> socket_results;
+  if (socket_steps > 0) {
+    const Case socket_case{sim::Method::CaCutoff, 4096, 64, 2, 0.1,
+                           particles::KernelEngine::Batched, 1};
+    for (const int groups : {2, 4}) {
+      for (const auto exec : {vmpi::ExecMode::Lockstep, vmpi::ExecMode::OwnerComputes}) {
+        SocketResult r{socket_case, groups, exec, socket_steps,
+                       measure_socket_steps_per_sec(socket_case, groups, exec, socket_steps)};
+        socket_results.push_back(r);
+        std::printf("socket g=%d %-14s %.2f steps/s\n", groups, vmpi::exec_mode_name(exec),
+                    r.steps_per_sec);
+      }
+    }
+  }
 
   std::vector<Case> cases;
   for (const auto engine : {particles::KernelEngine::Scalar, particles::KernelEngine::Batched}) {
@@ -228,7 +327,7 @@ int main(int argc, char** argv) {
                 cs.threads, cs.pooled ? "pooled" : "legacy", cs.dist.c_str(),
                 to_string(cs.sched), r.steps_per_sec);
   }
-  write_json(out_path, results, min_ms, repeats);
+  write_json(out_path, results, socket_results, min_ms, repeats);
   std::cout << "wrote " << out_path << "\n";
 
   if (!series_out.empty()) {

@@ -41,8 +41,17 @@
 //   --transport-drop   socket: seeded egress drop probability on data
 //                      frames, exercising the reliable channel
 //   --transport-drop-seed  seed for that drop stream (default 1)
+//   --transport-exec   socket: owner | lockstep (default owner). Owner-
+//                      computes makes each process run force sweeps and
+//                      reassign splits only for its owned ranks and gather
+//                      full state over the wire at snapshot points — the
+//                      true distribution mode (host wall drops ~G×);
+//                      lockstep keeps the PR 8 full-SPMD replication.
+//                      Either way, trajectories, ledgers, and traces are
+//                      bitwise identical to the modeled arm.
 // With --transport=socket only the group-0 process prints and writes
-// output files; the other groups compute, feed the fabric, and exit.
+// output files; the other groups compute, feed the fabric, and exit. A
+// crashed group fails the whole run with that group's exit status.
 //
 // Fault injection (deterministic; see vmpi/fault.hpp and docs/TESTING.md).
 // Passing any of these attaches a PerturbationModel to the virtual machine;
@@ -158,7 +167,7 @@ int main(int argc, char** argv) {
                       "trace-out", "spans-csv", "serve", "serve-linger", "series-out",
                       "series-capacity", "straggler-factor", "transport",
                       "transport-groups", "transport-group", "transport-dir",
-                      "transport-drop", "transport-drop-seed"});
+                      "transport-drop", "transport-drop-seed", "transport-exec"});
   using Sim = sim::Simulation<particles::InverseSquareRepulsion>;
   Sim::Config cfg;
   cfg.method = parse_method(args.get("method", "ca-all-pairs"));
@@ -217,8 +226,15 @@ int main(int argc, char** argv) {
     topts.drop_seed = static_cast<std::uint64_t>(args.get_int("transport-drop-seed", 1));
     CANB_REQUIRE(*kind == vmpi::TransportKind::Socket ||
                      (!args.has("transport-groups") && !args.has("transport-group") &&
-                      !args.has("transport-dir") && !args.has("transport-drop")),
-                 "--transport-groups/-group/-dir/-drop need --transport=socket");
+                      !args.has("transport-dir") && !args.has("transport-drop") &&
+                      !args.has("transport-exec")),
+                 "--transport-groups/-group/-dir/-drop/-exec need --transport=socket");
+    {
+      const std::string ename = args.get("transport-exec", "owner");
+      const auto exec = vmpi::parse_exec_mode(ename);
+      CANB_REQUIRE(exec.has_value(), "unknown --transport-exec (owner | lockstep): " + ename);
+      cfg.exec = *exec;
+    }
     if (*kind == vmpi::TransportKind::Socket) {
       topts.groups = static_cast<int>(args.get_int("transport-groups", 2));
       CANB_REQUIRE(topts.groups >= 1 && topts.groups <= cfg.p,
@@ -388,9 +404,13 @@ int main(int argc, char** argv) {
                                                   sim::TrajectoryWriter::Format::Csv);
 
   const int snapshot_every = std::max(1, steps / 10);
+  // The snapshot-gather decision must be identical on every forked group:
+  // under owner-computes gather() is a symmetric wire all-gather, so gating
+  // it on the writers (which only the primary constructs) would deadlock.
+  const bool snapshots = args.has("xyz") || args.has("csv");
   for (int s = 0; s < steps; ++s) {
     simulation.step();
-    if ((s + 1) % snapshot_every == 0 && (xyz || csv)) {
+    if ((s + 1) % snapshot_every == 0 && snapshots) {
       const auto snap = simulation.gather();
       const double t = time0 + (step0 + s + 1) * cfg.dt;
       if (xyz) xyz->append(snap, static_cast<int>(step0) + s + 1, t);
@@ -496,13 +516,18 @@ int main(int argc, char** argv) {
   simulation_ptr.reset();
   cfg.transport.reset();
   if (launch != nullptr) {
-    const int failures = launch->wait_children();
+    const int child_status = launch->wait_children();
     if (launch->primary()) {
       if (!owned_rendezvous_dir.empty()) {
         std::error_code ec;
         std::filesystem::remove_all(owned_rendezvous_dir, ec);
       }
-      CANB_REQUIRE(failures == 0, "a forked transport group exited nonzero");
+      if (child_status != 0) {
+        // Fail the run with the crashed group's status — a silent exit 0
+        // here would hide a child that diverged or died to a signal.
+        std::cerr << "error: a forked transport group failed (status " << child_status << ")\n";
+        return child_status;
+      }
     }
   }
   return 0;

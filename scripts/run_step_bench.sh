@@ -8,8 +8,10 @@
 # The bench drives sim::Simulation (full timestep: staging collectives,
 # force sweeps, reduce, integrate, re-assign) for the cutoff and all-pairs
 # configurations at both kernel engines and 1/4 host threads, and records
-# host steps/sec per case. CANB_NATIVE_ARCH affects bench targets only, so
-# the library/tests in the build dir stay portable.
+# host steps/sec per case. It also runs the socket-mesh arm first
+# (back-to-back lockstep vs owner-computes over forked process groups
+# {2,4}; pass --socket-steps=0 to skip it). CANB_NATIVE_ARCH affects bench
+# targets only, so the library/tests in the build dir stay portable.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

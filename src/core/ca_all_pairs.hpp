@@ -164,8 +164,11 @@ class CaAllPairs {
 
   void pre_integrate() {
     if constexpr (!Policy::kIsPhantom) {
-      for (int t = 0; t < grid_.cols(); ++t)
-        policy_.pre_force(*integrator_, resident_[static_cast<std::size_t>(grid_.leader(t))]);
+      for (int t = 0; t < grid_.cols(); ++t) {
+        const int leader = grid_.leader(t);
+        if (!vc_.resident(leader)) continue;  // owner runs the half-kick
+        policy_.pre_force(*integrator_, resident_[static_cast<std::size_t>(leader)]);
+      }
     }
   }
 
@@ -179,18 +182,28 @@ class CaAllPairs {
     boundary(vmpi::Phase::Broadcast, "broadcast");
     if (plane_) {
       // Carried blocks are pure visitors (the sweeps' read-only operand),
-      // so staging copies only the kernel-input lanes.
+      // so staging copies only the kernel-input lanes. Non-resident ranks
+      // stage a phantom (size-only) block: the skew/shift rounds still need
+      // correct byte counts from it, but its lanes never feed a sweep here.
       vmpi::stage_buffers(
           vc_, resident_, carried_,
           [this](int r, Carried& c, const Buffer& src) {
-            vmpi::detail::assign_visitor(c.buf, src);
+            if (vc_.resident(r)) {
+              vmpi::detail::assign_visitor(c.buf, src);
+            } else {
+              vmpi::detail::phantom_assign(c.buf, src);
+            }
             c.team = grid_.col_of(r);
           },
           plane_.get());
     } else {
       for (int r = 0; r < cfg_.p; ++r) {
         auto& c = carried_[static_cast<std::size_t>(r)];
-        c.buf = resident_[static_cast<std::size_t>(r)];
+        if (vc_.resident(r)) {
+          c.buf = resident_[static_cast<std::size_t>(r)];
+        } else {
+          vmpi::detail::phantom_assign(c.buf, resident_[static_cast<std::size_t>(r)]);
+        }
         c.team = grid_.col_of(r);
       }
     }
@@ -222,6 +235,20 @@ class CaAllPairs {
     auto rank_body = [&](int r) {
       auto& carried = carried_[static_cast<std::size_t>(r)];
       const bool same = carried.team == grid_.col_of(r);
+      if (!vc_.resident(r)) {
+        // Owner-computes: this rank's sweep runs in its owning process.
+        // Charge exactly what the owner's sweep will report — examined
+        // counts derive from block sizes alone (same formula for the full
+        // sweep, the N3L half-sweep, and the cull path), and non-resident
+        // buffer sizes are maintained by every primitive — then skip the
+        // physics. on_sweep is deliberately NOT called: canb_sweep_*
+        // counters document the pairs this process actually executed.
+        const auto nr = Policy::count(resident_[static_cast<std::size_t>(r)]);
+        const auto nc = Policy::count(carried.buf);
+        const std::uint64_t examined = nr * nc - (same ? nr : 0);
+        vc_.charge_interactions(r, static_cast<double>(examined));
+        return;
+      }
       const auto stats =
           policy_.interact(resident_[static_cast<std::size_t>(r)], carried.buf, same);
       // Per-rank ledger rows and clocks are disjoint: safe across threads
@@ -238,8 +265,10 @@ class CaAllPairs {
       cost_.resize(static_cast<std::size_t>(cfg_.p));
       for (int r = 0; r < cfg_.p; ++r)
         cost_[static_cast<std::size_t>(r)] =
-            static_cast<double>(Policy::count(resident_[static_cast<std::size_t>(r)])) *
-            static_cast<double>(Policy::count(carried_[static_cast<std::size_t>(r)].buf));
+            vc_.resident(r)
+                ? static_cast<double>(Policy::count(resident_[static_cast<std::size_t>(r)])) *
+                      static_cast<double>(Policy::count(carried_[static_cast<std::size_t>(r)].buf))
+                : 0.0;
       pool_->parallel_tasks(cfg_.p, [&](int r, int) { rank_body(r); }, cost_.data());
     } else {
       for (int r = 0; r < cfg_.p; ++r) rank_body(r);
@@ -307,7 +336,11 @@ class CaAllPairs {
     for (int t = 0; t < grid_.cols(); ++t) {
       const int leader = grid_.leader(t);
       auto& block = resident_[static_cast<std::size_t>(leader)];
-      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      if constexpr (!Policy::kIsPhantom) {
+        if (vc_.resident(leader)) policy_.post_force(*integrator_, block);
+      }
+      // The integration charge stays replicated for every leader — the
+      // virtual cost plane is identical on all processes by construction.
       vc_.advance(leader, vmpi::Phase::Compute,
                   cfg_.machine.gamma_flop * flops * static_cast<double>(Policy::count(block)));
     }

@@ -180,8 +180,11 @@ class CaCutoff {
 
   void pre_integrate() {
     if constexpr (!Policy::kIsPhantom) {
-      for (int t = 0; t < grid_.cols(); ++t)
-        policy_.pre_force(*integrator_, resident_[static_cast<std::size_t>(grid_.leader(t))]);
+      for (int t = 0; t < grid_.cols(); ++t) {
+        const int leader = grid_.leader(t);
+        if (!vc_.resident(leader)) continue;  // owner runs the half-kick
+        policy_.pre_force(*integrator_, resident_[static_cast<std::size_t>(leader)]);
+      }
     }
   }
 
@@ -215,11 +218,26 @@ class CaCutoff {
       // operand), so staging copies only the kernel-input lanes.
       vmpi::stage_buffers(
           vc_, resident_, carried_,
-          [](int, Buffer& dst, const Buffer& src) { vmpi::detail::assign_visitor(dst, src); },
+          [this](int r, Buffer& dst, const Buffer& src) {
+            // Non-resident ranks stage a phantom (size-only) block: the
+            // skew/shift permutes still need correct byte counts from it,
+            // but its lanes never feed a sweep in this process.
+            if (vc_.resident(r)) {
+              vmpi::detail::assign_visitor(dst, src);
+            } else {
+              vmpi::detail::phantom_assign(dst, src);
+            }
+          },
           plane_.get());
     } else {
-      for (int r = 0; r < cfg_.p; ++r)
-        carried_[static_cast<std::size_t>(r)] = resident_[static_cast<std::size_t>(r)];
+      for (int r = 0; r < cfg_.p; ++r) {
+        if (vc_.resident(r)) {
+          carried_[static_cast<std::size_t>(r)] = resident_[static_cast<std::size_t>(r)];
+        } else {
+          vmpi::detail::phantom_assign(carried_[static_cast<std::size_t>(r)],
+                                       resident_[static_cast<std::size_t>(r)]);
+        }
+      }
     }
     const auto& geom = cfg_.geometry;
     deltas_.resize(static_cast<std::size_t>(cfg_.c));
@@ -271,6 +289,17 @@ class CaCutoff {
         const int oz = tz_[static_cast<std::size_t>(r)] + rs.off.z;
         if (ox < 0 || ox >= qx || oy < 0 || oy >= qy || oz < 0 || oz >= qz) return;
       }
+      if (!vc_.resident(r)) {
+        // Owner-computes: charge the owner's sweep from block sizes alone
+        // (non-resident sizes are maintained by every primitive) and skip
+        // the physics; on_sweep is deliberately NOT called so canb_sweep_*
+        // counters document the pairs this process actually executed.
+        const auto nr = Policy::count(resident_[static_cast<std::size_t>(r)]);
+        const auto nc = Policy::count(carried_[static_cast<std::size_t>(r)]);
+        const std::uint64_t examined = nr * nc - (rs.self ? nr : 0);
+        vc_.charge_interactions(r, static_cast<double>(examined));
+        return;
+      }
       const auto stats = policy_.interact(resident_[static_cast<std::size_t>(r)],
                                           carried_[static_cast<std::size_t>(r)], rs.self);
       // Per-rank ledger rows and telemetry sweep slots are disjoint: safe
@@ -288,7 +317,7 @@ class CaCutoff {
       for (int r = 0; r < cfg_.p; ++r) {
         const auto& rs = rows_[static_cast<std::size_t>(r / q)];
         cost_[static_cast<std::size_t>(r)] =
-            rs.in_window
+            rs.in_window && vc_.resident(r)
                 ? static_cast<double>(Policy::count(resident_[static_cast<std::size_t>(r)])) *
                       static_cast<double>(Policy::count(carried_[static_cast<std::size_t>(r)]))
                 : 0.0;
@@ -303,7 +332,11 @@ class CaCutoff {
     for (int t = 0; t < grid_.cols(); ++t) {
       const int leader = grid_.leader(t);
       auto& block = resident_[static_cast<std::size_t>(leader)];
-      if constexpr (!Policy::kIsPhantom) policy_.post_force(*integrator_, block);
+      if constexpr (!Policy::kIsPhantom) {
+        if (vc_.resident(leader)) policy_.post_force(*integrator_, block);
+      }
+      // The integration charge stays replicated for every leader — the
+      // virtual cost plane is identical on all processes by construction.
       vc_.advance(leader, vmpi::Phase::Compute,
                   cfg_.machine.gamma_flop * kIntegrateFlopsPerParticle *
                       static_cast<double>(Policy::count(block)));

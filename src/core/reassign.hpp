@@ -131,7 +131,8 @@ void exchange_lists(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const Cutof
 /// touched at all. Teams are independent, so the split fans across the
 /// host pool.
 template <class Policy>
-bool split_teams(const vmpi::Grid2d& grid, const CutoffGeometry& geom, const particles::Box& box,
+bool split_teams(const vmpi::VirtualComm& vc, const vmpi::Grid2d& grid,
+                 const CutoffGeometry& geom, const particles::Box& box,
                  std::vector<typename Policy::Buffer>& resident, int axis,
                  std::vector<typename Policy::Buffer>& plus,
                  std::vector<typename Policy::Buffer>& minus,
@@ -139,6 +140,9 @@ bool split_teams(const vmpi::Grid2d& grid, const CutoffGeometry& geom, const par
   using Buffer = typename Policy::Buffer;
   const int q = geom.teams();
   auto split_one = [&](int t) {
+    // Owner-computes: only the owning process reads positions and splits;
+    // peers learn the counts from the migration-count exchange afterwards.
+    if (!vc.resident(grid.leader(t))) return;
     auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
     auto& up = plus[static_cast<std::size_t>(t)];
     auto& down = minus[static_cast<std::size_t>(t)];
@@ -196,6 +200,70 @@ bool split_teams(const vmpi::Grid2d& grid, const CutoffGeometry& geom, const par
   return false;
 }
 
+/// Owner-computes arm: after the residency-gated split, process groups
+/// agree on every team's outgoing (plus, minus) counts so that (a) the
+/// round's global `any` decision matches the modeled arm exactly and (b)
+/// non-owned phantom lists and resident blocks keep the sizes the cost
+/// model charges from. One message per ordered group pair on a reserved
+/// out-of-band tag — the exchange itself charges nothing; the virtual cost
+/// of the list shipment is paid by exchange_lists' replicated permute_step,
+/// exactly as in lockstep. Returns the global `any`.
+template <class Policy>
+bool exchange_migration_counts(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid,
+                               const CutoffGeometry& geom,
+                               std::vector<typename Policy::Buffer>& resident,
+                               std::vector<typename Policy::Buffer>& plus,
+                               std::vector<typename Policy::Buffer>& minus, bool any_local) {
+  vmpi::Transport* tp = vc.transport();
+  if (tp == nullptr || tp->groups() <= 1) return any_local;
+  const int groups = tp->groups();
+  const int me = tp->group();
+  const int q = geom.teams();
+  const std::uint64_t tag = vc.next_reassign_count_tag();
+  // Lowest rank of each group: the endpoint the counts travel between.
+  std::vector<int> rep(static_cast<std::size_t>(groups), -1);
+  for (int r = 0; r < grid.size(); ++r) {
+    const int g = tp->owner_group(r);
+    if (rep[static_cast<std::size_t>(g)] < 0) rep[static_cast<std::size_t>(g)] = r;
+  }
+  // Counts of my owned teams, in ascending team order. Sends go out before
+  // any recv is posted; socket reader threads drain continuously, so the
+  // all-to-all cannot deadlock.
+  wire::Bytes bytes;
+  {
+    wire::Writer w(bytes);
+    for (int t = 0; t < q; ++t) {
+      if (tp->owner_group(grid.leader(t)) != me) continue;
+      w.scalar<std::uint64_t>(Policy::count(plus[static_cast<std::size_t>(t)]));
+      w.scalar<std::uint64_t>(Policy::count(minus[static_cast<std::size_t>(t)]));
+    }
+  }
+  for (int g = 0; g < groups; ++g) {
+    if (g == me) continue;
+    tp->send(rep[static_cast<std::size_t>(me)], rep[static_cast<std::size_t>(g)], tag, bytes);
+  }
+  bool any = any_local;
+  for (int g = 0; g < groups; ++g) {
+    if (g == me) continue;
+    tp->recv(rep[static_cast<std::size_t>(g)], rep[static_cast<std::size_t>(me)], tag, bytes);
+    wire::Reader rd(bytes);
+    for (int t = 0; t < q; ++t) {
+      if (tp->owner_group(grid.leader(t)) != g) continue;
+      const auto up = rd.scalar<std::uint64_t>();
+      const auto down = rd.scalar<std::uint64_t>();
+      any = any || up != 0 || down != 0;
+      // Mirror the owner's split on the phantom side: the resident block
+      // shrinks by the movers, the route lists take their sizes. Lanes stay
+      // stale — only the lengths feed Policy::bytes/count.
+      auto& blk = resident[static_cast<std::size_t>(grid.leader(t))];
+      blk.truncate(blk.size() - static_cast<std::size_t>(up) - static_cast<std::size_t>(down));
+      plus[static_cast<std::size_t>(t)].resize(static_cast<std::size_t>(up));
+      minus[static_cast<std::size_t>(t)].resize(static_cast<std::size_t>(down));
+    }
+  }
+  return any;
+}
+
 template <class Policy>
 void route_axis(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeometry& geom,
                 const particles::Box& box, std::vector<typename Policy::Buffer>& resident,
@@ -216,8 +284,10 @@ void route_axis(vmpi::VirtualComm& vc, const vmpi::Grid2d& grid, const CutoffGeo
         plus.resize(static_cast<std::size_t>(q));
         minus.resize(static_cast<std::size_t>(q));
       }
-      any = split_teams<Policy>(grid, geom, box, resident, axis, plus, minus, plane);
+      any = split_teams<Policy>(vc, grid, geom, box, resident, axis, plus, minus, plane);
     }
+    if (vc.owner_computes())
+      any = exchange_migration_counts<Policy>(vc, grid, geom, resident, plus, minus, any);
     if (any) {
       exchange_lists<Policy>(vc, grid, geom, plus, resident, axis, /*direction=*/+1, plane);
       exchange_lists<Policy>(vc, grid, geom, minus, resident, axis, /*direction=*/-1, plane);

@@ -27,11 +27,14 @@ std::string get_string(wire::Reader& r) {
 }  // namespace
 
 bool process_local_metric(std::string_view family_name) noexcept {
-  // Fabric, host scheduler, and host data-plane families diverge across OS
-  // processes; everything else is an SPMD replica that only group 0 exports.
+  // Fabric, host scheduler, host data-plane, and host sweep families
+  // diverge across OS processes (under owner-computes each group sweeps
+  // only its owned ranks); everything else is an SPMD replica of the
+  // virtual cost plane that only group 0 exports.
   static constexpr std::string_view kPrefixes[] = {
       "canb_transport_", "canb_sched_",        "canb_steal_total",
       "canb_worker_",    "canb_tasks_per_worker", "canb_host_phase_seconds",
+      "canb_sweep_",     "canb_local_ranks",
   };
   for (const auto p : kPrefixes) {
     if (family_name.substr(0, p.size()) == p) return true;

@@ -184,6 +184,19 @@ void Telemetry::publish_transport(std::string_view kind, const vmpi::TransportSt
   last_transport_ = stats;
 }
 
+void Telemetry::publish_execution(std::string_view mode, int local_ranks) {
+  if (!enabled()) return;
+  registry_
+      .gauge("canb_transport_exec", with_group({{"mode", std::string(mode)}}),
+             "execution mode in effect (value 1; mode label: lockstep | owner_computes)")
+      .set(1.0);
+  registry_
+      .gauge("canb_local_ranks", with_group({}),
+             "virtual ranks whose physics this process executes (p on a single "
+             "endpoint, the group's ownership share under owner-computes)")
+      .set(static_cast<double>(local_ranks));
+}
+
 void Telemetry::publish_host_phases() {
   if (!enabled()) return;
   for (std::size_t i = 0; i < vmpi::kPhaseCount; ++i) {
@@ -228,24 +241,31 @@ void Telemetry::finalize(const vmpi::VirtualComm& vc) {
     sweep_calls += sweep_calls_[r];
     sweep_half += sweep_half_calls_[r];
   }
+  // Sweep counters are process-local truths: they document the pairs THIS
+  // process actually swept. Under owner-computes each group sweeps only its
+  // owned ranks, so the group-labeled series are partial sums whose total
+  // across groups equals one lockstep process's count (pinned by
+  // tests/test_owner_computes.cpp); under lockstep every group honestly
+  // reports the full count it redundantly executed.
   if (sweep_calls > 0.0) {
     registry_
-        .counter("canb_sweep_pairs_total", {},
-                 "directed interaction pairs accounted by force sweeps (ledger unit)")
+        .counter("canb_sweep_pairs_total", with_group({}),
+                 "directed interaction pairs swept by THIS process (ledger unit; "
+                 "a partial per-group sum under owner-computes)")
         .inc(static_cast<std::uint64_t>(sweep_pairs));
     registry_
-        .counter("canb_sweep_pairs_computed_total", {},
+        .counter("canb_sweep_pairs_computed_total", with_group({}),
                  "pair evaluations actually executed on the host (an N3L half-sweep "
                  "computes about half of canb_sweep_pairs_total)")
         .inc(static_cast<std::uint64_t>(sweep_computed));
     registry_
-        .gauge("canb_sweep_half_ratio", {},
+        .gauge("canb_sweep_half_ratio", with_group({}),
                "fraction of sweep calls that took the N3L half-sweep path")
         .set(sweep_half / sweep_calls);
   }
   if (!sweep_backend_.empty()) {
     registry_
-        .gauge("canb_sweep_backend", {{"backend", sweep_backend_}},
+        .gauge("canb_sweep_backend", with_group({{"backend", sweep_backend_}}),
                "SIMD backend the sweep lane pipelines dispatched to (value 1)")
         .set(1.0);
   }

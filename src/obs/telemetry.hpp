@@ -110,6 +110,13 @@ class Telemetry final : public vmpi::CommObserver {
   /// call it each step. A no-op until the first frame moves.
   void publish_transport(std::string_view kind, const vmpi::TransportStats& stats);
 
+  /// Publishes the execution mode and rank-ownership share of this process:
+  /// a canb_transport_exec{mode=lockstep|owner_computes} marker gauge
+  /// (value 1) and the canb_local_ranks gauge (how many virtual ranks this
+  /// process runs physics for — p on a single endpoint, the group's share
+  /// under owner-computes). Idempotent gauges; safe to call every step.
+  void publish_execution(std::string_view mode, int local_ranks);
+
   /// Publishes the per-phase HOST data-plane gauges accumulated so far.
   /// Gauges are set, not inc'd, so calling every step is idempotent at the
   /// end of the run; finalize() includes it.

@@ -89,6 +89,12 @@ struct SoaBlock {
   /// Drops elements [n, size()) from every lane; capacity is kept.
   void truncate(std::size_t n);
 
+  /// Sets every lane's length to exactly n: shrinks like truncate, grows
+  /// with value-initialized (zero) elements. Owner-computes phantom buffers
+  /// use this — for a non-resident block only the *size* feeds the cost
+  /// model, so the lanes may hold stale zeros.
+  void resize(std::size_t n) { truncate(n); }
+
   /// Materializes element i as a wire-format Particle. Force and aux lanes
   /// round to float; the aux2/aux3 padding reads as zero.
   Particle get(std::size_t i) const noexcept;

@@ -33,6 +33,7 @@
 #include "particles/simd/simd.hpp"
 #include "sim/report.hpp"
 #include "support/assert.hpp"
+#include "vmpi/gather.hpp"
 
 namespace canb::sim {
 
@@ -140,6 +141,15 @@ class Simulation {
     /// Shared (not unique) so multi-endpoint harnesses can hold the
     /// endpoint while the Simulation uses it.
     std::shared_ptr<vmpi::Transport> transport;
+    /// Execution mode on a multi-group transport (vmpi/transport.hpp).
+    /// OwnerComputes (the default) makes each process run force sweeps,
+    /// reassign splits, and data-plane copies only for its owned ranks —
+    /// the virtual cost plane stays fully replicated, so ledgers, clocks,
+    /// traces, and gathered trajectories are bitwise identical to the
+    /// modeled arm. Effective only for the CA methods with a transport
+    /// spanning more than one group; everything else silently runs
+    /// lockstep (full SPMD replication, the PR 8 behavior).
+    vmpi::ExecMode exec = vmpi::ExecMode::OwnerComputes;
     /// Live scrape endpoint (obs/serve.hpp): when >= 0, an HTTP server
     /// binds 127.0.0.1:<port> (0 = ephemeral) and serves /metrics,
     /// /healthz, /spans.csv, /trace.json refreshed every step. On a
@@ -172,7 +182,15 @@ class Simulation {
       fault_model_ = std::make_unique<vmpi::PerturbationModel>(*cfg_.fault, cfg_.p);
       comm().set_fault(fault_model_.get());
     }
-    if (cfg_.transport) comm().set_transport(cfg_.transport.get());
+    if (cfg_.transport) {
+      comm().set_transport(cfg_.transport.get());
+      // Owner-computes needs the engine-side residency gates, which only
+      // the CA engines implement; other methods stay lockstep-replicated.
+      owner_computes_ = cfg_.exec == vmpi::ExecMode::OwnerComputes &&
+                        cfg_.transport->groups() > 1 &&
+                        (cfg_.method == Method::CaAllPairs || cfg_.method == Method::CaCutoff);
+      if (owner_computes_) comm().set_owner_computes(true);
+    }
     if (cfg_.obs != obs::ObsLevel::Off) {
       telemetry_ = std::make_unique<obs::Telemetry>(cfg_.obs);
       std::visit(
@@ -210,6 +228,7 @@ class Simulation {
     if (cfg_.transport) {
       manifest_.set("transport", vmpi::transport_kind_name(cfg_.transport->kind()));
       manifest_.set("transport_groups", cfg_.transport->groups());
+      manifest_.set("transport_exec", vmpi::exec_mode_name(exec_mode()));
     }
 
     if (telemetry_) {
@@ -298,12 +317,47 @@ class Simulation {
 
   int steps_taken() const noexcept { return steps_; }
 
-  /// All particles, sorted by id (authoritative owner copies).
+  /// All particles, sorted by id (authoritative owner copies). Under
+  /// owner-computes the copied team blocks are first all-gathered across
+  /// the process groups (vmpi/gather.hpp) — every group assembles the full
+  /// authoritative state, so the call must be made symmetrically on every
+  /// group (same discipline as the mesh exchange). Engine state is never
+  /// touched: the gather operates on the team_results() copies.
   particles::Block gather() const {
     auto blocks = std::visit([](const auto& e) { return e.team_results(); }, engine_);
+    if (owner_computes_) {
+      std::vector<int> leaders;
+      std::visit(
+          [&](const auto& e) {
+            if constexpr (requires { e.grid(); }) {
+              leaders.reserve(static_cast<std::size_t>(e.grid().cols()));
+              for (int t = 0; t < e.grid().cols(); ++t) leaders.push_back(e.grid().leader(t));
+            }
+          },
+          engine_);
+      CANB_REQUIRE(leaders.size() == blocks.size(),
+                   "owner-computes gather needs the engine's team-leader map");
+      vmpi::all_gather_teams(*cfg_.transport, leaders, blocks);
+    }
     auto all = decomp::concat(blocks);
     particles::sort_by_id(all);
     return all;
+  }
+
+  /// The effective execution mode: OwnerComputes only when enabled AND
+  /// active (CA method, multi-group transport); Lockstep otherwise.
+  vmpi::ExecMode exec_mode() const noexcept {
+    return owner_computes_ ? vmpi::ExecMode::OwnerComputes : vmpi::ExecMode::Lockstep;
+  }
+
+  /// Ranks whose payloads (and physics) this process owns: p on a
+  /// single-endpoint run, the group's share on a multi-group transport.
+  int local_ranks() const {
+    if (!cfg_.transport) return cfg_.p;
+    int n = 0;
+    for (int r = 0; r < cfg_.p; ++r)
+      if (cfg_.transport->local(r)) ++n;
+    return n;
   }
 
   const vmpi::VirtualComm& comm() const {
@@ -541,6 +595,7 @@ class Simulation {
     if (cfg_.transport) {
       telemetry_->publish_transport(vmpi::transport_kind_name(cfg_.transport->kind()),
                                     cfg_.transport->stats());
+      telemetry_->publish_execution(vmpi::exec_mode_name(exec_mode()), local_ranks());
     }
     telemetry_->publish_host_phases();
     if (!build_info_published_) {
@@ -559,6 +614,8 @@ class Simulation {
     w.kv("method", method_name(cfg_.method));
     w.kv("p", cfg_.p);
     w.kv("groups", mesh_ ? mesh_->groups() : 1);
+    w.kv("exec", vmpi::exec_mode_name(exec_mode()));
+    w.kv("local_ranks", local_ranks());
     w.kv("max_virtual_clock_seconds", max_virtual_clock());
     w.end_object();
     return os.str();
@@ -601,6 +658,9 @@ class Simulation {
   std::unique_ptr<obs::MeshAggregator> mesh_;
   std::unique_ptr<obs::StepSeries> series_;
   bool build_info_published_ = false;
+  /// Whether owner-computes is ACTIVE (configured + CA method + multi-group
+  /// transport); see exec_mode().
+  bool owner_computes_ = false;
   /// Declared last: the serving thread reads only content it was handed,
   /// but tearing it down first on destruction keeps the shutdown ordering
   /// obvious (no scrape can race the engine's teardown).

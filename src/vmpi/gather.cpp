@@ -1,0 +1,17 @@
+#include "vmpi/gather.hpp"
+
+namespace canb::vmpi {
+
+std::vector<int> group_rep_ranks(const Transport& t) {
+  std::vector<int> rep(static_cast<std::size_t>(t.groups()), -1);
+  for (int r = 0; r < t.ranks(); ++r) {
+    const int g = t.owner_group(r);
+    CANB_ASSERT(0 <= g && g < t.groups());
+    if (rep[static_cast<std::size_t>(g)] < 0) rep[static_cast<std::size_t>(g)] = r;
+  }
+  for (int g = 0; g < t.groups(); ++g)
+    CANB_REQUIRE(rep[static_cast<std::size_t>(g)] >= 0, "every process group must own a rank");
+  return rep;
+}
+
+}  // namespace canb::vmpi

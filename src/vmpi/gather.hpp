@@ -1,0 +1,71 @@
+// End-of-run state assembly for owner-computes execution.
+//
+// Under owner-computes (docs/TRANSPORT.md) each process group holds
+// authoritative particle state only for the teams it owns; every other
+// team's resident block is a size-correct phantom. Before anything reads
+// full state — trajectory snapshots, the final CSV/XYZ export, parity
+// checks — the groups all-gather their owned team blocks so every process
+// ends up with the complete, bitwise-authoritative set.
+//
+// This is deliberately an ALL-gather rather than a gather-to-0: it costs
+// the same number of wire frames per receiving group, makes every group
+// able to self-check its assembled state against a modeled baseline, and
+// keeps the call symmetric (every group must reach it the same number of
+// times — the same discipline as the telemetry mesh exchange).
+//
+// Flows ride the reserved out-of-band tag space (kGatherTagBase + team),
+// so they can never alias a data-flow tag or a telemetry snapshot, and
+// they charge nothing to the virtual cost model: the gather is a host
+// artifact-assembly step that does not exist in the paper's schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/wire.hpp"
+#include "vmpi/transport.hpp"
+
+namespace canb::vmpi {
+
+/// Lowest-numbered rank of each process group: the receiving endpoint for
+/// out-of-band flows addressed to that group. Indexed by group id.
+std::vector<int> group_rep_ranks(const Transport& t);
+
+/// All-gathers per-team blocks across the transport's process groups.
+/// `team_leaders[i]` is the rank that owns team i's authoritative block
+/// (the engine grid's leader); `teams[i]` is this process's copy of that
+/// block — authoritative when the leader is local, phantom otherwise. On
+/// return every entry is authoritative on every group. No-op on a
+/// single-group transport. Must be called symmetrically by every group
+/// (FIFO per flow then keeps even repeated mid-run gathers matched).
+template <class B>
+void all_gather_teams(Transport& t, const std::vector<int>& team_leaders, std::vector<B>& teams) {
+  if (t.groups() <= 1) return;
+  CANB_ASSERT(team_leaders.size() == teams.size());
+  const std::vector<int> rep = group_rep_ranks(t);
+  const int me = t.group();
+  wire::Bytes bytes;
+  // All sends first: socket reader threads drain continuously, so posting
+  // every outgoing frame before the first recv cannot deadlock regardless
+  // of the peers' team ownership layout.
+  for (std::size_t i = 0; i < teams.size(); ++i) {
+    const int leader = team_leaders[i];
+    if (t.owner_group(leader) != me) continue;
+    wire::to_bytes(teams[i], bytes);
+    const std::uint64_t tag = kGatherTagBase + static_cast<std::uint64_t>(i);
+    for (int g = 0; g < t.groups(); ++g) {
+      if (g == me) continue;
+      t.send(leader, rep[static_cast<std::size_t>(g)], tag, bytes);
+    }
+  }
+  for (std::size_t i = 0; i < teams.size(); ++i) {
+    const int leader = team_leaders[i];
+    if (t.owner_group(leader) == me) continue;
+    t.recv(leader, rep[static_cast<std::size_t>(me)],
+           kGatherTagBase + static_cast<std::uint64_t>(i), bytes);
+    wire::from_bytes(teams[i], bytes);
+  }
+}
+
+}  // namespace canb::vmpi

@@ -89,6 +89,21 @@ void assign_visitor(B& dst, const B& src) {
   }
 }
 
+/// Size-only install for a non-resident destination under owner-computes:
+/// every charge derives from Policy::bytes/count of the buffer at charge
+/// time, so a buffer this process never computes with must still track the
+/// correct *length* — the lanes may hold stale zeros. Payloads without
+/// resize (PhantomBlock is pure counts) take the full copy, which is just
+/// as cheap.
+template <class B>
+void phantom_assign(B& dst, const B& src) {
+  if constexpr (requires { dst.resize(src.size()); }) {
+    dst.resize(src.size());
+  } else {
+    assign_full(dst, src);
+  }
+}
+
 /// Member swap when the payload has one (SoaBlock's is noexcept and
 /// lane-wise); std::swap for plain payloads (ints, PhantomBlock).
 template <class B>
@@ -175,7 +190,20 @@ void broadcast_with_transport(VirtualComm& vc, const Grid2d& g, std::vector<B>& 
         wire::to_bytes(bufs[static_cast<std::size_t>(leader)], bytes);
         for (int row = 1; row < g.rows(); ++row) t->send(leader, g.rank(row, col), tag, bytes);
       }
-      host_copy();
+      if (vc.owner_computes()) {
+        // Resident destinations are installed by the wire adoption below;
+        // non-resident ones only need their size kept in step for the cost
+        // model, so the replicated host copy is replaced by phantom installs.
+        for (int col = 0; col < g.cols(); ++col) {
+          const auto& src = bufs[static_cast<std::size_t>(g.leader(col))];
+          for (int row = 1; row < g.rows(); ++row) {
+            const int dst = g.rank(row, col);
+            if (!vc.resident(dst)) phantom_assign(bufs[static_cast<std::size_t>(dst)], src);
+          }
+        }
+      } else {
+        host_copy();
+      }
       for (int col = 0; col < g.cols(); ++col) {
         const int leader = g.leader(col);
         for (int row = 1; row < g.rows(); ++row) {
@@ -223,7 +251,10 @@ bool reduce_with_transport(VirtualComm& vc, const Grid2d& g, std::vector<B>& buf
             t->recv(m, leader, tag, bytes);
             wire::from_bytes(incoming, bytes);
             combine(acc, incoming);
-          } else {
+          } else if (!vc.owner_computes()) {
+            // Lockstep keeps the replicated fold so every process holds the
+            // full state; owner-computes skips it — a non-resident leader's
+            // lanes are stale by contract, and combine never changes sizes.
             combine(acc, bufs[static_cast<std::size_t>(m)]);
           }
         }

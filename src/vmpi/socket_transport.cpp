@@ -522,18 +522,28 @@ ProcessGroup::~ProcessGroup() {
 
 int ProcessGroup::wait_children() {
   waited_ = true;
-  int failures = 0;
+  int first_failure = 0;
   for (const pid_t pid : pids_) {
     int status = 0;
     for (;;) {
       const pid_t r = ::waitpid(pid, &status, 0);
       if (r >= 0 || errno != EINTR) break;
     }
-    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    if (!ok) failures += 1;
+    // Propagate the first failing child's status with the shell convention:
+    // its exit code verbatim, or 128+signal for a signal death. A crashed
+    // non-zero group must fail the whole run, not vanish silently.
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    } else {
+      code = 1;  // stopped/unknown: still a failure
+    }
+    if (code != 0 && first_failure == 0) first_failure = code;
   }
   pids_.clear();
-  return failures;
+  return first_failure;
 }
 
 }  // namespace canb::vmpi

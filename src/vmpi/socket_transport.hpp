@@ -135,8 +135,11 @@ class ProcessGroup {
   int group() const noexcept { return group_; }
   bool primary() const noexcept { return group_ == 0; }
 
-  /// Parent: reaps every child, returns how many exited nonzero (or died
-  /// to a signal). Children: returns 0 immediately.
+  /// Parent: reaps every child and returns the FIRST failing child's exit
+  /// status (its exit code verbatim, or 128+signal when it died to a
+  /// signal; 0 when all children exited cleanly) so callers can fail the
+  /// run with the child's status instead of silently exiting 0.
+  /// Children: returns 0 immediately.
   int wait_children();
 
  private:

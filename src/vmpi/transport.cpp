@@ -33,6 +33,21 @@ std::optional<TransportKind> parse_transport_kind(std::string_view name) noexcep
   return std::nullopt;
 }
 
+const char* exec_mode_name(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::Lockstep: return "lockstep";
+    case ExecMode::OwnerComputes: return "owner_computes";
+  }
+  return "unknown";
+}
+
+std::optional<ExecMode> parse_exec_mode(std::string_view name) noexcept {
+  if (name == "lockstep") return ExecMode::Lockstep;
+  if (name == "owner" || name == "owner_computes" || name == "owner-computes")
+    return ExecMode::OwnerComputes;
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------------
 // ModeledTransport
 

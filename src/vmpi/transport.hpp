@@ -55,12 +55,38 @@ enum class TransportKind { Modeled, Shmem, Socket };
 const char* transport_kind_name(TransportKind k) noexcept;
 std::optional<TransportKind> parse_transport_kind(std::string_view name) noexcept;
 
+/// How a multi-process mesh divides the physics.
+///   - Lockstep: every process redundantly computes all p virtual ranks and
+///     adopts wire bytes at group boundaries (the PR 8 parity-harness mode).
+///   - OwnerComputes: each process runs force sweeps / reassign splits /
+///     data-plane copies only for ranks its group owns; everything else is
+///     obtained by recv-adoption. The virtual cost plane stays fully
+///     replicated, so clocks/ledgers/traces remain bitwise identical to the
+///     modeled arm while host wall-clock drops ~G×.
+enum class ExecMode { Lockstep, OwnerComputes };
+
+const char* exec_mode_name(ExecMode m) noexcept;
+std::optional<ExecMode> parse_exec_mode(std::string_view name) noexcept;
+
 /// Tags at or above this value are reserved for out-of-band control flows
 /// that ride the transport without touching the virtual cost model —
 /// today the telemetry snapshot push (obs/snapshot.hpp), tomorrow session
 /// control. VirtualComm::next_transport_tag() allocates data-flow tags by
 /// counting up from 1 and can never reach this range.
 inline constexpr std::uint64_t kReservedTagBase = 0xFFFF'FFFF'0000'0000ull;
+
+/// Reserved-tag sub-spaces. The telemetry snapshot push uses
+/// kReservedTagBase + group (obs/snapshot.hpp); the owner-computes machinery
+/// carves out two more disjoint blocks:
+///   - gather flows: one tag per (team, sender group) so the end-of-run
+///     all-gather of team blocks (vmpi/gather.hpp) never aliases a snapshot
+///     or data-flow tag;
+///   - reassign count exchange: one tag per routing round, used by the
+///     owner-computes arm of reassign_spatial to agree on migration counts
+///     out of band (charges nothing — the virtual cost was already paid by
+///     the replicated permute_step charge loop).
+inline constexpr std::uint64_t kGatherTagBase = kReservedTagBase + 0x0010'0000ull;
+inline constexpr std::uint64_t kReassignCountTagBase = kReservedTagBase + 0x0020'0000ull;
 
 /// Fabric-side counters, published as canb_transport_* metrics. All zero
 /// for the modeled arm (no transport attached): the cost model is the

@@ -85,6 +85,25 @@ class VirtualComm {
   }
   Transport* transport() const noexcept { return transport_; }
 
+  /// Owner-computes execution: when enabled (requires an attached
+  /// transport), engines and primitives skip the *physics* — force sweeps,
+  /// reassign splits, data-plane copies — for ranks whose payloads live in
+  /// another process group, while every virtual charge loop stays fully
+  /// replicated so clocks, ledgers, and traces remain bitwise identical to
+  /// the modeled arm. Lockstep (the default) keeps resident() always true.
+  void set_owner_computes(bool on) {
+    CANB_REQUIRE(!on || transport_ != nullptr, "owner-computes requires an attached transport");
+    owner_computes_ = on;
+  }
+  bool owner_computes() const noexcept { return owner_computes_; }
+
+  /// Whether `rank`'s particle payloads are materialized (and its physics
+  /// executed) in this process. The single predicate the primitives and
+  /// engines consult; always true outside owner-computes mode.
+  bool resident(int rank) const noexcept {
+    return !owner_computes_ || transport_ == nullptr || transport_->local(rank);
+  }
+
   /// Per-round message tag for transport flows. Every primitive call draws
   /// one tag; under SPMD lockstep execution all processes draw the same
   /// sequence, which is what lets send/recv pairs match across processes
@@ -92,6 +111,14 @@ class VirtualComm {
   /// vmpi::kReservedTagBase belong to out-of-band control flows (telemetry
   /// snapshots) and are never allocated here.
   std::uint64_t next_transport_tag() noexcept { return ++transport_tag_; }
+
+  /// Per-call tag for the owner-computes reassign count exchange. Lives in
+  /// the reserved out-of-band range (never collides with data flows or
+  /// telemetry snapshots); all processes draw the same sequence because the
+  /// exchange happens at the same schedule point everywhere.
+  std::uint64_t next_reassign_count_tag() noexcept {
+    return kReassignCountTagBase + (++reassign_count_tag_);
+  }
 
   // --- local charges -----------------------------------------------------
   /// Advances one rank's clock, attributing to `phase`.
@@ -269,6 +296,8 @@ class VirtualComm {
   CommObserver* obs_ = nullptr;
   Transport* transport_ = nullptr;
   std::uint64_t transport_tag_ = 0;
+  std::uint64_t reassign_count_tag_ = 0;
+  bool owner_computes_ = false;
   /// Topology used for hop-aware latency; set in the constructor when the
   /// model requests it (alpha_hop > 0). Sized to exactly p ranks.
   std::shared_ptr<const machine::Topology> hop_topology_;

@@ -100,6 +100,12 @@ TEST(ObsSnapshot, ProcessLocalPrefixes) {
   EXPECT_TRUE(obs::process_local_metric("canb_worker_idle_seconds"));
   EXPECT_TRUE(obs::process_local_metric("canb_tasks_per_worker"));
   EXPECT_TRUE(obs::process_local_metric("canb_host_phase_seconds"));
+  // Sweep counters are host truth: under owner-computes each process only
+  // sweeps its owned ranks, so they diverge across the mesh and must ride
+  // the per-group snapshot (the mesh merge sums them back to the total).
+  EXPECT_TRUE(obs::process_local_metric("canb_sweep_pairs_computed_total"));
+  EXPECT_TRUE(obs::process_local_metric("canb_sweep_pairs_total"));
+  EXPECT_TRUE(obs::process_local_metric("canb_local_ranks"));
   EXPECT_FALSE(obs::process_local_metric("canb_messages_total"));
   EXPECT_FALSE(obs::process_local_metric("canb_rank_clock_seconds"));
   EXPECT_FALSE(obs::process_local_metric("canb_steps_total"));
